@@ -1,0 +1,124 @@
+// Engineering microbenchmarks (google-benchmark): throughput of the hot
+// paths — wire codec, MRT framing, classifier, trie, decision process.
+// Not a paper artifact; used to keep the measurement pipeline fast enough
+// for full-archive runs.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "bgp/codec.h"
+#include "core/classifier.h"
+#include "mrt/mrt.h"
+#include "rib/decision.h"
+#include "rib/trie.h"
+
+namespace bgpcc {
+namespace {
+
+UpdateMessage sample_update(int communities) {
+  UpdateMessage update;
+  update.announced.push_back(Prefix::from_string("84.205.64.0/24"));
+  PathAttributes attrs;
+  attrs.as_path = AsPath::sequence({20205, 3356, 174, 12654});
+  attrs.next_hop = IpAddress::from_string("192.0.2.1");
+  for (int i = 0; i < communities; ++i) {
+    attrs.communities.add(
+        Community::of(3356, static_cast<std::uint16_t>(2000 + i)));
+  }
+  update.attrs = std::move(attrs);
+  return update;
+}
+
+void BM_EncodeUpdate(benchmark::State& state) {
+  UpdateMessage update = sample_update(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_update(update));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeUpdate)->Arg(0)->Arg(3)->Arg(10);
+
+void BM_DecodeUpdate(benchmark::State& state) {
+  auto wire = encode_update(sample_update(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_update(wire));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_DecodeUpdate)->Arg(0)->Arg(3)->Arg(10);
+
+void BM_MrtWriteRead(benchmark::State& state) {
+  mrt::Bgp4mpMessage message;
+  message.peer_asn = Asn(20205);
+  message.local_asn = Asn(65500);
+  message.peer_ip = IpAddress::from_string("192.0.2.1");
+  message.local_ip = IpAddress::from_string("192.0.2.2");
+  message.bgp_message = encode_update(sample_update(3));
+  for (auto _ : state) {
+    std::stringstream buffer;
+    mrt::Writer writer(buffer);
+    writer.write_message(Timestamp::from_unix_seconds(1), message);
+    mrt::Reader reader(buffer);
+    benchmark::DoNotOptimize(reader.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MrtWriteRead);
+
+void BM_ClassifyRecord(benchmark::State& state) {
+  core::Classifier classifier;
+  core::UpdateRecord record;
+  record.session = core::SessionKey{"rrc00", Asn(20205),
+                                    IpAddress::from_string("192.0.2.1")};
+  record.prefix = Prefix::from_string("84.205.64.0/24");
+  record.announcement = true;
+  record.attrs.as_path = AsPath::sequence({20205, 3356, 174, 12654});
+  std::uint16_t tick = 0;
+  for (auto _ : state) {
+    record.attrs.communities.clear();
+    record.attrs.communities.add(Community::of(3356, 2000 + (tick++ % 8)));
+    benchmark::DoNotOptimize(classifier.classify(record));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifyRecord);
+
+void BM_TrieInsertLookup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PrefixTrie<int> trie;
+    for (int i = 0; i < n; ++i) {
+      trie.insert(
+          Prefix(IpAddress::v4(0x0a000000u +
+                               static_cast<std::uint32_t>(i) * 256),
+                 24),
+          i);
+    }
+    benchmark::DoNotOptimize(
+        trie.lookup(IpAddress::v4(0x0a000000u +
+                                  static_cast<std::uint32_t>(n / 2) * 256)));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TrieInsertLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DecisionCompare(benchmark::State& state) {
+  Route a;
+  a.prefix = Prefix::from_string("84.205.64.0/24");
+  a.attrs.as_path = AsPath::sequence({20205, 3356, 174, 12654});
+  a.source.peer_router_id = 1;
+  Route b = a;
+  b.source.peer_router_id = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(better_route(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecisionCompare);
+
+}  // namespace
+}  // namespace bgpcc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// AS_PATH attribute: ordered segments of AS numbers, with the helpers the
+// paper's classifier needs (prepending detection = "set of ASes equal but
+// sequence differs").
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/asn.h"
+
+namespace bgpcc {
+
+/// One AS_PATH segment (RFC 4271 §4.3 / 5.1.2).
+struct AsPathSegment {
+  enum class Type : std::uint8_t { kSet = 1, kSequence = 2 };
+
+  Type type = Type::kSequence;
+  std::vector<Asn> asns;
+
+  friend auto operator<=>(const AsPathSegment&, const AsPathSegment&) = default;
+};
+
+/// A full AS path. The common case is a single AS_SEQUENCE segment;
+/// AS_SETs (from aggregation) are supported for wire fidelity.
+class AsPath {
+ public:
+  AsPath() = default;
+
+  /// Builds a single-sequence path, left = nearest AS (most recent hop).
+  [[nodiscard]] static AsPath sequence(std::initializer_list<std::uint32_t> asns);
+  [[nodiscard]] static AsPath sequence(const std::vector<Asn>& asns);
+
+  /// Builds a path from explicit segments (used by the wire decoder).
+  /// Empty segments are dropped; throws ParseError on a segment with more
+  /// than 255 ASNs (unencodable).
+  [[nodiscard]] static AsPath from_segments(std::vector<AsPathSegment> segments);
+
+  /// Parses "20205 3356 174 12654" (sets in braces: "{1 2}"). Throws
+  /// ParseError on malformed input.
+  [[nodiscard]] static AsPath from_string(std::string_view text);
+
+  [[nodiscard]] const std::vector<AsPathSegment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+
+  /// Path length as used by the decision process: each AS in a sequence
+  /// counts 1 (so prepending lengthens the path); each AS_SET counts 1 in
+  /// total (RFC 4271 §9.1.2.2(a)).
+  [[nodiscard]] int length() const;
+
+  /// Prepends `asn` `count` times to the front (the local AS when
+  /// advertising over eBGP, possibly repeated for traffic engineering).
+  void prepend(Asn asn, int count = 1);
+
+  /// Leftmost AS (the neighbor that sent the route), if any.
+  [[nodiscard]] std::optional<Asn> first_as() const;
+  /// Rightmost AS of the final sequence segment: the origin.
+  [[nodiscard]] std::optional<Asn> origin_as() const;
+
+  [[nodiscard]] bool contains(Asn asn) const;
+
+  /// All ASNs in path order, segment structure flattened.
+  [[nodiscard]] std::vector<Asn> flatten() const;
+
+  /// Sorted unique ASNs. Two paths with equal as_set() but different
+  /// sequences differ only by prepending — the paper's `x` types.
+  [[nodiscard]] std::vector<Asn> as_set() const;
+
+  /// True if the two paths involve exactly the same set of ASes.
+  [[nodiscard]] bool same_as_set(const AsPath& other) const;
+
+  /// True if this path differs from `other` only by prepending:
+  /// not equal, but equal AS sets and equal de-duplicated sequences.
+  [[nodiscard]] bool prepending_only_change_from(const AsPath& other) const;
+
+  /// De-duplicated hop sequence: "1 1 2 3 3" -> {1,2,3}.
+  [[nodiscard]] std::vector<Asn> dedup_sequence() const;
+
+  /// "20205 3356 174 12654"; sets rendered "{174 3356}".
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<AsPathSegment> segments_;
+};
+
+}  // namespace bgpcc

@@ -1,0 +1,51 @@
+#include "bgp/attributes.h"
+
+#include <algorithm>
+
+namespace bgpcc {
+
+std::string to_string(Origin origin) {
+  switch (origin) {
+    case Origin::kIgp:
+      return "IGP";
+    case Origin::kEgp:
+      return "EGP";
+    case Origin::kIncomplete:
+      return "INCOMPLETE";
+  }
+  return "?";
+}
+
+void PathAttributes::add_unknown(RawAttribute attr) {
+  auto it = std::lower_bound(unknown.begin(), unknown.end(), attr);
+  unknown.insert(it, std::move(attr));
+}
+
+void PathAttributes::strip_non_transitive_unknown() {
+  std::erase_if(unknown, [](const RawAttribute& a) {
+    return a.is_optional() && !a.is_transitive();
+  });
+}
+
+std::string PathAttributes::summary() const {
+  std::string out = "path=[" + as_path.to_string() + "]";
+  out += " origin=" + bgpcc::to_string(origin);
+  out += " next_hop=" + next_hop.to_string();
+  if (med) out += " med=" + std::to_string(*med);
+  if (local_pref) out += " local_pref=" + std::to_string(*local_pref);
+  if (atomic_aggregate) out += " atomic_aggregate";
+  if (aggregator) {
+    out += " aggregator=" + aggregator->asn.to_string() + "@" +
+           aggregator->address.to_string();
+  }
+  if (!communities.empty()) out += " comm={" + communities.to_string() + "}";
+  if (!large_communities.empty()) {
+    out += " large={" + large_communities.to_string() + "}";
+  }
+  if (!unknown.empty()) {
+    out += " unknown_attrs=" + std::to_string(unknown.size());
+  }
+  return out;
+}
+
+}  // namespace bgpcc

@@ -1,0 +1,106 @@
+// Decoded BGP path attributes (RFC 4271 §5) plus pass-through storage for
+// unrecognized optional transitive attributes — the propagation property
+// that makes communities (and their side effects) spread across ASes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/aspath.h"
+#include "bgp/community.h"
+#include "netbase/ip.h"
+
+namespace bgpcc {
+
+/// ORIGIN attribute codes; lower is preferred in the decision process.
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+[[nodiscard]] std::string to_string(Origin origin);
+
+/// AGGREGATOR attribute (RFC 4271 §5.1.7).
+struct Aggregator {
+  Asn asn;
+  IpAddress address;
+
+  friend auto operator<=>(const Aggregator&, const Aggregator&) = default;
+};
+
+/// Attribute type codes used on the wire.
+enum class AttrType : std::uint8_t {
+  kOrigin = 1,
+  kAsPath = 2,
+  kNextHop = 3,
+  kMed = 4,
+  kLocalPref = 5,
+  kAtomicAggregate = 6,
+  kAggregator = 7,
+  kCommunities = 8,
+  kMpReachNlri = 14,
+  kMpUnreachNlri = 15,
+  kLargeCommunities = 32,
+};
+
+/// Attribute flag bits (RFC 4271 §4.3).
+struct AttrFlags {
+  static constexpr std::uint8_t kOptional = 0x80;
+  static constexpr std::uint8_t kTransitive = 0x40;
+  static constexpr std::uint8_t kPartial = 0x20;
+  static constexpr std::uint8_t kExtendedLength = 0x10;
+};
+
+/// An attribute this implementation does not interpret, carried verbatim.
+/// Per RFC 4271 §5, unrecognized *optional transitive* attributes must be
+/// propagated (with the Partial bit set) — exactly the mechanism that lets
+/// communities cross ASes that don't understand them.
+struct RawAttribute {
+  std::uint8_t flags = 0;
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> value;
+
+  [[nodiscard]] bool is_optional() const {
+    return (flags & AttrFlags::kOptional) != 0;
+  }
+  [[nodiscard]] bool is_transitive() const {
+    return (flags & AttrFlags::kTransitive) != 0;
+  }
+
+  friend auto operator<=>(const RawAttribute&, const RawAttribute&) = default;
+};
+
+/// The full decoded attribute block attached to a route.
+///
+/// Equality of two PathAttributes is exact attribute-by-attribute equality;
+/// the classifier uses finer-grained comparisons (path vs communities) on
+/// top of this.
+struct PathAttributes {
+  Origin origin = Origin::kIgp;
+  AsPath as_path;
+  IpAddress next_hop;
+  std::optional<std::uint32_t> med;
+  std::optional<std::uint32_t> local_pref;
+  bool atomic_aggregate = false;
+  std::optional<Aggregator> aggregator;
+  CommunitySet communities;
+  LargeCommunitySet large_communities;
+  /// Unrecognized attributes, kept sorted by (type, value) for canonical
+  /// equality. Only optional transitive ones survive re-advertisement.
+  std::vector<RawAttribute> unknown;
+
+  /// Adds an unknown attribute preserving sorted order.
+  void add_unknown(RawAttribute attr);
+
+  /// Drops unknown attributes that are optional non-transitive (those are
+  /// never forwarded past the receiving speaker).
+  void strip_non_transitive_unknown();
+
+  /// Multi-line human rendering for traces and examples.
+  [[nodiscard]] std::string summary() const;
+
+  friend auto operator<=>(const PathAttributes&,
+                          const PathAttributes&) = default;
+};
+
+}  // namespace bgpcc

@@ -1,0 +1,55 @@
+// RFC 4271 wire codec: serializes/parses BGP messages byte-exactly, with
+// RFC 6793 four-octet ASNs and RFC 4760 MP_REACH/MP_UNREACH for IPv6.
+//
+// The simulator exchanges decoded structs for speed, but every message a
+// collector records is round-tripped through this codec into MRT files, so
+// the analysis pipeline consumes the same bytes RouteViews/RIS would give.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/message.h"
+
+namespace bgpcc {
+
+/// Codec knobs. Four-octet ASN encoding is the modern default (all
+/// RouteViews/RIS BGP4MP_MESSAGE_AS4 records use it); set false to parse
+/// legacy two-octet sessions.
+struct CodecOptions {
+  bool four_byte_asn = true;
+};
+
+/// Fixed header size (16-byte marker + 2-byte length + 1-byte type).
+inline constexpr std::size_t kBgpHeaderSize = 19;
+/// RFC 4271 maximum message size.
+inline constexpr std::size_t kBgpMaxMessageSize = 4096;
+
+/// Serializes a full UPDATE (including header). Throws ConfigError if the
+/// message violates the struct contract (e.g. announcements without
+/// attributes) and DecodeError if the result would exceed 4096 bytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_update(
+    const UpdateMessage& update, const CodecOptions& options = {});
+
+/// Parses a full UPDATE (including header). Throws DecodeError on any
+/// malformed input; never reads out of bounds.
+[[nodiscard]] UpdateMessage decode_update(std::span<const std::uint8_t> data,
+                                          const CodecOptions& options = {});
+
+[[nodiscard]] std::vector<std::uint8_t> encode_keepalive();
+[[nodiscard]] std::vector<std::uint8_t> encode_open(const OpenMessage& open);
+[[nodiscard]] OpenMessage decode_open(std::span<const std::uint8_t> data);
+[[nodiscard]] std::vector<std::uint8_t> encode_notification(
+    const NotificationMessage& notification);
+[[nodiscard]] NotificationMessage decode_notification(
+    std::span<const std::uint8_t> data);
+
+/// Validates the 19-byte header and returns the message type.
+[[nodiscard]] MessageType peek_type(std::span<const std::uint8_t> data);
+
+/// Total message length claimed by the header (validated to be >= 19
+/// and <= 4096). Useful for framing a TCP-style byte stream.
+[[nodiscard]] std::size_t peek_length(std::span<const std::uint8_t> data);
+
+}  // namespace bgpcc

@@ -1,0 +1,134 @@
+#include "bgp/community.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "netbase/error.h"
+
+namespace bgpcc {
+namespace {
+
+std::uint32_t parse_u32(std::string_view text, std::uint64_t max,
+                        std::string_view context) {
+  std::uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || value > max) {
+    throw ParseError("malformed number '" + std::string(text) + "' in " +
+                     std::string(context));
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+}  // namespace
+
+Community Community::from_string(std::string_view text) {
+  std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) {
+    return Community(parse_u32(text, 0xffffffffull, "community"));
+  }
+  std::uint32_t hi = parse_u32(text.substr(0, colon), 0xffff, "community");
+  std::uint32_t lo = parse_u32(text.substr(colon + 1), 0xffff, "community");
+  return Community((hi << 16) | lo);
+}
+
+std::string Community::to_string() const {
+  return std::to_string(asn16()) + ":" + std::to_string(value16());
+}
+
+LargeCommunity LargeCommunity::from_string(std::string_view text) {
+  std::size_t c1 = text.find(':');
+  std::size_t c2 = (c1 == std::string_view::npos)
+                       ? std::string_view::npos
+                       : text.find(':', c1 + 1);
+  if (c1 == std::string_view::npos || c2 == std::string_view::npos) {
+    throw ParseError("large community needs ga:d1:d2: " + std::string(text));
+  }
+  LargeCommunity lc;
+  lc.global_admin =
+      parse_u32(text.substr(0, c1), 0xffffffffull, "large community");
+  lc.data1 = parse_u32(text.substr(c1 + 1, c2 - c1 - 1), 0xffffffffull,
+                       "large community");
+  lc.data2 = parse_u32(text.substr(c2 + 1), 0xffffffffull, "large community");
+  return lc;
+}
+
+std::string LargeCommunity::to_string() const {
+  return std::to_string(global_admin) + ":" + std::to_string(data1) + ":" +
+         std::to_string(data2);
+}
+
+CommunitySet::CommunitySet(std::initializer_list<Community> items) {
+  for (Community c : items) add(c);
+}
+
+bool CommunitySet::add(Community c) {
+  auto it = std::lower_bound(items_.begin(), items_.end(), c);
+  if (it != items_.end() && *it == c) return false;
+  items_.insert(it, c);
+  return true;
+}
+
+bool CommunitySet::remove(Community c) {
+  auto it = std::lower_bound(items_.begin(), items_.end(), c);
+  if (it == items_.end() || *it != c) return false;
+  items_.erase(it);
+  return true;
+}
+
+std::size_t CommunitySet::remove_asn(std::uint16_t asn16) {
+  auto first = std::lower_bound(items_.begin(), items_.end(),
+                                Community::of(asn16, 0));
+  auto last = std::upper_bound(items_.begin(), items_.end(),
+                               Community::of(asn16, 0xffff));
+  std::size_t n = static_cast<std::size_t>(last - first);
+  items_.erase(first, last);
+  return n;
+}
+
+bool CommunitySet::contains(Community c) const {
+  return std::binary_search(items_.begin(), items_.end(), c);
+}
+
+std::string CommunitySet::to_string() const {
+  std::string out;
+  for (Community c : items_) {
+    if (!out.empty()) out.push_back(' ');
+    out += c.to_string();
+  }
+  return out;
+}
+
+LargeCommunitySet::LargeCommunitySet(
+    std::initializer_list<LargeCommunity> items) {
+  for (const LargeCommunity& c : items) add(c);
+}
+
+bool LargeCommunitySet::add(const LargeCommunity& c) {
+  auto it = std::lower_bound(items_.begin(), items_.end(), c);
+  if (it != items_.end() && *it == c) return false;
+  items_.insert(it, c);
+  return true;
+}
+
+bool LargeCommunitySet::remove(const LargeCommunity& c) {
+  auto it = std::lower_bound(items_.begin(), items_.end(), c);
+  if (it == items_.end() || *it != c) return false;
+  items_.erase(it);
+  return true;
+}
+
+bool LargeCommunitySet::contains(const LargeCommunity& c) const {
+  return std::binary_search(items_.begin(), items_.end(), c);
+}
+
+std::string LargeCommunitySet::to_string() const {
+  std::string out;
+  for (const LargeCommunity& c : items_) {
+    if (!out.empty()) out.push_back(' ');
+    out += c.to_string();
+  }
+  return out;
+}
+
+}  // namespace bgpcc

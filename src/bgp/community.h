@@ -1,0 +1,148 @@
+// BGP communities: RFC 1997 (32-bit) and RFC 8092 (large, 96-bit), plus the
+// sorted-set container whose equality defines "the community attribute
+// changed" in the paper's announcement-type classifier.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/asn.h"
+
+namespace bgpcc {
+
+/// An RFC 1997 community: a 32-bit value conventionally written as
+/// "asn:value" with both halves 16 bits.
+class Community {
+ public:
+  constexpr Community() = default;
+  constexpr explicit Community(std::uint32_t raw) : raw_(raw) {}
+  /// Builds asn:value (both must fit 16 bits; checked).
+  [[nodiscard]] static Community of(std::uint16_t asn, std::uint16_t value) {
+    return Community((static_cast<std::uint32_t>(asn) << 16) | value);
+  }
+  /// Parses "65000:300" or a bare decimal raw value. Throws ParseError.
+  [[nodiscard]] static Community from_string(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t raw() const { return raw_; }
+  /// Upper 16 bits: the AS that defined the community's semantics.
+  [[nodiscard]] constexpr std::uint16_t asn16() const {
+    return static_cast<std::uint16_t>(raw_ >> 16);
+  }
+  /// Lower 16 bits: the AS-defined value.
+  [[nodiscard]] constexpr std::uint16_t value16() const {
+    return static_cast<std::uint16_t>(raw_ & 0xffff);
+  }
+
+  // RFC 1997 well-known communities.
+  static constexpr std::uint32_t kNoExportRaw = 0xffffff01;
+  static constexpr std::uint32_t kNoAdvertiseRaw = 0xffffff02;
+  static constexpr std::uint32_t kNoExportSubconfedRaw = 0xffffff03;
+  /// RFC 7999 BLACKHOLE.
+  static constexpr std::uint32_t kBlackholeRaw = 0xffff029a;
+
+  [[nodiscard]] static constexpr Community no_export() {
+    return Community(kNoExportRaw);
+  }
+  [[nodiscard]] static constexpr Community no_advertise() {
+    return Community(kNoAdvertiseRaw);
+  }
+  [[nodiscard]] static constexpr Community blackhole() {
+    return Community(kBlackholeRaw);
+  }
+
+  /// True for any value in the reserved well-known range 0xFFFF0000-0xFFFFFFFF.
+  [[nodiscard]] constexpr bool is_well_known() const {
+    return (raw_ >> 16) == 0xffff;
+  }
+
+  /// "65000:300" rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Community a, Community b) = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+/// An RFC 8092 large community: GlobalAdmin:LocalData1:LocalData2,
+/// each 32 bits. Carried to exercise the "optional transitive attribute"
+/// machinery beyond classic communities.
+struct LargeCommunity {
+  std::uint32_t global_admin = 0;
+  std::uint32_t data1 = 0;
+  std::uint32_t data2 = 0;
+
+  /// Parses "64500:1:228". Throws ParseError.
+  [[nodiscard]] static LargeCommunity from_string(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const LargeCommunity&,
+                                    const LargeCommunity&) = default;
+};
+
+/// An ordered duplicate-free set of communities.
+///
+/// BGP treats the COMMUNITIES attribute as a set; keeping it sorted makes
+/// attribute equality (the `nc` vs `nn` distinction) canonical regardless of
+/// the order communities were added or received.
+class CommunitySet {
+ public:
+  CommunitySet() = default;
+  CommunitySet(std::initializer_list<Community> items);
+
+  /// Inserts; returns true if the community was not already present.
+  bool add(Community c);
+  /// Removes; returns true if the community was present.
+  bool remove(Community c);
+  /// Removes every community whose upper 16 bits equal `asn16`.
+  /// Returns the number removed. (Typical "clean my namespace" policy.)
+  std::size_t remove_asn(std::uint16_t asn16);
+  void clear() { items_.clear(); }
+
+  [[nodiscard]] bool contains(Community c) const;
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const std::vector<Community>& items() const { return items_; }
+
+  [[nodiscard]] auto begin() const { return items_.begin(); }
+  [[nodiscard]] auto end() const { return items_.end(); }
+
+  /// "65000:300 65000:400" (space-separated, sorted); "" when empty.
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const CommunitySet&, const CommunitySet&) = default;
+
+ private:
+  std::vector<Community> items_;  // sorted, unique
+};
+
+/// Ordered duplicate-free set of large communities.
+class LargeCommunitySet {
+ public:
+  LargeCommunitySet() = default;
+  LargeCommunitySet(std::initializer_list<LargeCommunity> items);
+
+  bool add(const LargeCommunity& c);
+  bool remove(const LargeCommunity& c);
+  void clear() { items_.clear(); }
+
+  [[nodiscard]] bool contains(const LargeCommunity& c) const;
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const std::vector<LargeCommunity>& items() const {
+    return items_;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const LargeCommunitySet&,
+                          const LargeCommunitySet&) = default;
+
+ private:
+  std::vector<LargeCommunity> items_;  // sorted, unique
+};
+
+}  // namespace bgpcc

@@ -1,0 +1,65 @@
+// BGP message model. UPDATE is the protagonist; OPEN/KEEPALIVE/NOTIFICATION
+// are modeled far enough to frame sessions and round-trip through MRT.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "netbase/prefix.h"
+
+namespace bgpcc {
+
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+[[nodiscard]] std::string to_string(MessageType type);
+
+/// A BGP UPDATE: withdrawals plus (optionally) announcements sharing one
+/// attribute block. IPv4 NLRI ride the classic fields; IPv6 NLRI are
+/// carried via MP_REACH/MP_UNREACH (RFC 4760) by the codec — transparently
+/// merged into `announced`/`withdrawn` here.
+struct UpdateMessage {
+  std::vector<Prefix> withdrawn;
+  std::vector<Prefix> announced;
+  /// Present iff `announced` is non-empty.
+  std::optional<PathAttributes> attrs;
+
+  [[nodiscard]] bool is_withdraw_only() const {
+    return announced.empty() && !withdrawn.empty();
+  }
+
+  /// One-line rendering for traces.
+  [[nodiscard]] std::string summary() const;
+
+  friend auto operator<=>(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+/// Minimal OPEN for session framing and MRT state-change records.
+struct OpenMessage {
+  std::uint8_t version = 4;
+  Asn asn;  // sent as AS_TRANS if > 16 bits; full ASN in capability
+  std::uint16_t hold_time = 180;
+  std::uint32_t bgp_identifier = 0;
+  bool four_byte_asn_capable = true;
+
+  friend auto operator<=>(const OpenMessage&, const OpenMessage&) = default;
+};
+
+struct NotificationMessage {
+  std::uint8_t error_code = 0;
+  std::uint8_t error_subcode = 0;
+  std::vector<std::uint8_t> data;
+
+  friend auto operator<=>(const NotificationMessage&,
+                          const NotificationMessage&) = default;
+};
+
+}  // namespace bgpcc

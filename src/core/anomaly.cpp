@@ -1,0 +1,97 @@
+#include "core/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace bgpcc::core {
+
+AnomalyReport detect_anomalies(const UpdateStream& stream,
+                               const AnomalyOptions& options) {
+  AnomalyReport report;
+
+  // --- Per-session nn shares via the classifier.
+  std::map<SessionKey, Classifier> classifiers;
+  struct Novelty {
+    Timestamp first_seen;
+    std::uint64_t in_window = 0;
+  };
+  std::map<Community, Novelty> novelties;
+
+  for (const UpdateRecord& record : stream.records()) {
+    classifiers[record.session].classify(record);
+    if (record.announcement) {
+      for (Community c : record.attrs.communities) {
+        auto [it, fresh] = novelties.try_emplace(c, Novelty{record.time, 0});
+        if (fresh ||
+            record.time - it->second.first_seen <= options.novelty_window) {
+          ++it->second.in_window;
+        }
+      }
+    }
+  }
+
+  std::vector<DuplicateOutlier> sessions;
+  double sum = 0.0;
+  for (const auto& [key, classifier] : classifiers) {
+    const TypeCounts& counts = classifier.counts();
+    if (counts.total() < options.min_classified) continue;
+    DuplicateOutlier entry;
+    entry.session = key;
+    entry.nn = counts.count(AnnouncementType::kNn);
+    entry.classified = counts.total();
+    entry.nn_share = counts.share(AnnouncementType::kNn);
+    sessions.push_back(entry);
+    sum += entry.nn_share;
+  }
+  if (sessions.size() >= 2) {
+    double n = static_cast<double>(sessions.size());
+    double mean = sum / n;
+    double sumsq = 0.0;
+    for (const DuplicateOutlier& s : sessions) {
+      sumsq += s.nn_share * s.nn_share;
+    }
+    report.population_mean_nn_share = mean;
+    report.population_stddev_nn_share =
+        std::sqrt(std::max(0.0, sumsq / n - mean * mean));
+    // Leave-one-out z-score: a single extreme session must not inflate
+    // the baseline it is scored against (with inclusive statistics one
+    // outlier among n is capped at sqrt(n-1) sigma).
+    for (DuplicateOutlier& s : sessions) {
+      double loo_mean = (sum - s.nn_share) / (n - 1);
+      double loo_var = std::max(
+          0.0, (sumsq - s.nn_share * s.nn_share) / (n - 1) -
+                   loo_mean * loo_mean);
+      double loo_stddev = std::sqrt(loo_var);
+      if (loo_stddev > 0.0) {
+        s.sigma = (s.nn_share - loo_mean) / loo_stddev;
+      } else {
+        // A perfectly uniform remainder: any exceedance is infinitely
+        // surprising; report a large finite sigma.
+        s.sigma = s.nn_share > loo_mean + 1e-9 ? 1e6 : 0.0;
+      }
+      if (s.sigma >= options.sigma_threshold) {
+        report.duplicate_outliers.push_back(s);
+      }
+    }
+    std::sort(report.duplicate_outliers.begin(),
+              report.duplicate_outliers.end(),
+              [](const DuplicateOutlier& a, const DuplicateOutlier& b) {
+                return a.sigma > b.sigma;
+              });
+  }
+
+  for (const auto& [community, novelty] : novelties) {
+    if (novelty.in_window >= options.novelty_min_occurrences) {
+      report.novelty_bursts.push_back(
+          NoveltyBurst{community, novelty.first_seen, novelty.in_window});
+    }
+  }
+  std::sort(report.novelty_bursts.begin(), report.novelty_bursts.end(),
+            [](const NoveltyBurst& a, const NoveltyBurst& b) {
+              return a.occurrences > b.occurrences;
+            });
+  return report;
+}
+
+}  // namespace bgpcc::core

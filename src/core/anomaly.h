@@ -1,0 +1,61 @@
+// Anomaly detection (§7): "communities can enrich our understanding of
+// anomalous behavior in the routing system ... a first step toward
+// predicting anomalous communities."
+//
+// Two detectors over classified update streams:
+//  - duplicate outliers: sessions whose nn share is far above the
+//    population (the paper's Figure-2 footnote: an AS bursting updates
+//    "for an unknown reason" in mid-2012);
+//  - novel community bursts: community values that appear for the first
+//    time and immediately arrive in volume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/stream.h"
+
+namespace bgpcc::core {
+
+struct DuplicateOutlier {
+  SessionKey session;
+  std::uint64_t nn = 0;
+  std::uint64_t classified = 0;
+  double nn_share = 0.0;
+  /// Standard deviations above the population mean nn share.
+  double sigma = 0.0;
+};
+
+struct NoveltyBurst {
+  Community community;
+  Timestamp first_seen;
+  /// Occurrences within the burst window after first appearance.
+  std::uint64_t occurrences = 0;
+};
+
+struct AnomalyOptions {
+  /// Sessions below this many classified announcements are not scored.
+  std::uint64_t min_classified = 50;
+  /// Flag sessions more than this many standard deviations above the
+  /// population mean nn share.
+  double sigma_threshold = 3.0;
+  /// Window after a community's first appearance that counts toward its
+  /// burst volume.
+  Duration novelty_window = Duration::hours(1);
+  /// Minimum in-window occurrences to call a novelty a burst.
+  std::uint64_t novelty_min_occurrences = 100;
+};
+
+struct AnomalyReport {
+  std::vector<DuplicateOutlier> duplicate_outliers;  // worst first
+  std::vector<NoveltyBurst> novelty_bursts;          // biggest first
+  double population_mean_nn_share = 0.0;
+  double population_stddev_nn_share = 0.0;
+};
+
+/// Runs both detectors over a (time-sorted) stream.
+[[nodiscard]] AnomalyReport detect_anomalies(const UpdateStream& stream,
+                                             const AnomalyOptions& options = {});
+
+}  // namespace bgpcc::core

@@ -1,0 +1,186 @@
+#include "core/beacon.h"
+
+#include <algorithm>
+
+namespace bgpcc::core {
+namespace {
+
+// Phase membership: within [start, start+window) of a recurring offset.
+bool in_phase(std::int64_t micros_of_day, Duration offset, Duration period,
+              Duration window) {
+  std::int64_t rel =
+      (micros_of_day - offset.count_micros()) % period.count_micros();
+  if (rel < 0) rel += period.count_micros();
+  return rel < window.count_micros();
+}
+
+}  // namespace
+
+BeaconSchedule::Phase BeaconSchedule::label(Timestamp time) const {
+  std::int64_t micros = time.micros_of_day();
+  if (in_phase(micros, withdraw_offset, period, window)) {
+    return Phase::kWithdraw;
+  }
+  if (in_phase(micros, announce_offset, period, window)) {
+    return Phase::kAnnounce;
+  }
+  return Phase::kOutside;
+}
+
+std::vector<Timestamp> BeaconSchedule::announce_times(
+    Timestamp day_start) const {
+  std::vector<Timestamp> out;
+  for (Duration t = announce_offset; t < Duration::hours(24);
+       t = t + period) {
+    out.push_back(day_start + t);
+  }
+  return out;
+}
+
+std::vector<Timestamp> BeaconSchedule::withdraw_times(
+    Timestamp day_start) const {
+  std::vector<Timestamp> out;
+  for (Duration t = withdraw_offset; t < Duration::hours(24);
+       t = t + period) {
+    out.push_back(day_start + t);
+  }
+  return out;
+}
+
+const char* label(BeaconSchedule::Phase phase) {
+  switch (phase) {
+    case BeaconSchedule::Phase::kAnnounce:
+      return "announce";
+    case BeaconSchedule::Phase::kWithdraw:
+      return "withdraw";
+    case BeaconSchedule::Phase::kOutside:
+      return "outside";
+  }
+  return "?";
+}
+
+RevealedStats analyze_revealed(const UpdateStream& stream,
+                               const BeaconSchedule& schedule) {
+  struct Buckets {
+    bool announce = false;
+    bool withdraw = false;
+    bool outside = false;
+  };
+  std::map<CommunitySet, Buckets> seen;
+  for (const UpdateRecord& record : stream.records()) {
+    if (!record.announcement || record.attrs.communities.empty()) continue;
+    Buckets& b = seen[record.attrs.communities];
+    switch (schedule.label(record.time)) {
+      case BeaconSchedule::Phase::kAnnounce:
+        b.announce = true;
+        break;
+      case BeaconSchedule::Phase::kWithdraw:
+        b.withdraw = true;
+        break;
+      case BeaconSchedule::Phase::kOutside:
+        b.outside = true;
+        break;
+    }
+  }
+  RevealedStats stats;
+  stats.total_unique = seen.size();
+  for (const auto& [attr, b] : seen) {
+    int buckets = (b.announce ? 1 : 0) + (b.withdraw ? 1 : 0) +
+                  (b.outside ? 1 : 0);
+    if (buckets > 1) {
+      ++stats.ambiguous;
+    } else if (b.withdraw) {
+      ++stats.withdrawal_only;
+    } else if (b.announce) {
+      ++stats.announce_only;
+    } else {
+      ++stats.outside_only;
+    }
+  }
+  return stats;
+}
+
+std::vector<ExplorationEvent> find_community_exploration(
+    const UpdateStream& stream, const BeaconSchedule& schedule) {
+  // Per (session, prefix): the current run of same-path nc announcements.
+  struct RunState {
+    std::optional<AsPath> path;
+    std::optional<CommunitySet> communities;
+    ExplorationEvent current;
+    std::map<CommunitySet, int> attrs_seen;
+    bool active = false;
+  };
+  std::map<std::pair<SessionKey, Prefix>, RunState> runs;
+  std::vector<ExplorationEvent> events;
+
+  auto finish = [&events](RunState& run) {
+    if (run.active && run.current.nc_count >= 2) {
+      run.current.distinct_attributes =
+          static_cast<int>(run.attrs_seen.size());
+      events.push_back(run.current);
+    }
+    run.active = false;
+    run.attrs_seen.clear();
+  };
+
+  for (const UpdateRecord& record : stream.records()) {
+    auto key = std::make_pair(record.session, record.prefix);
+    RunState& run = runs[key];
+    if (!record.announcement) {
+      finish(run);
+      run.path.reset();
+      run.communities.reset();
+      continue;
+    }
+    bool in_withdraw_phase =
+        schedule.label(record.time) == BeaconSchedule::Phase::kWithdraw;
+    bool same_path = run.path && *run.path == record.attrs.as_path;
+    bool comm_changed =
+        run.communities && *run.communities != record.attrs.communities;
+
+    if (same_path && comm_changed && in_withdraw_phase) {
+      if (!run.active) {
+        run.active = true;
+        run.current = ExplorationEvent{};
+        run.current.session = record.session;
+        run.current.prefix = record.prefix;
+        run.current.as_path = record.attrs.as_path;
+        run.current.begin = record.time;
+        run.current.nc_count = 0;
+        if (run.communities) run.attrs_seen[*run.communities] = 1;
+      }
+      ++run.current.nc_count;
+      run.current.end = record.time;
+      ++run.attrs_seen[record.attrs.communities];
+    } else if (!same_path || !in_withdraw_phase) {
+      finish(run);
+    }
+    run.path = record.attrs.as_path;
+    run.communities = record.attrs.communities;
+  }
+  for (auto& [key, run] : runs) finish(run);
+  return events;
+}
+
+RouteSeries route_series(const UpdateStream& stream, const SessionKey& session,
+                         const Prefix& prefix,
+                         const std::optional<AsPath>& only_path) {
+  RouteSeries series;
+  Classifier classifier;
+  for (const UpdateRecord& record : stream.records()) {
+    if (record.session != session || record.prefix != prefix) continue;
+    if (!record.announcement) {
+      series.withdrawals.push_back(record.time);
+      classifier.classify(record);
+      continue;
+    }
+    auto type = classifier.classify(record);
+    if (only_path && record.attrs.as_path != *only_path) continue;
+    if (!type) continue;  // first sighting: untyped, not plotted
+    series.announcements.push_back(SeriesPoint{
+        record.time, *type, record.attrs.communities, record.attrs.as_path});
+  }
+  return series;
+}
+
+}  // namespace bgpcc::core

@@ -1,0 +1,101 @@
+// Beacon-phase analysis (§6): phase labeling against the RIPE RIS beacon
+// schedule, the revealed-community-attribute statistic (Figure 6), and the
+// community-exploration detector (Figure 4's nc bursts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/stream.h"
+
+namespace bgpcc::core {
+
+/// The fixed beacon timing discipline: announcements every `period`
+/// starting at `announce_offset` past UTC midnight, withdrawals every
+/// `period` starting at `withdraw_offset`. RIPE RIS: 4h period,
+/// announce at 00:00, withdraw at 02:00.
+struct BeaconSchedule {
+  Duration period = Duration::hours(4);
+  Duration announce_offset = Duration::hours(0);
+  Duration withdraw_offset = Duration::hours(2);
+  /// Messages within this window after a phase start belong to the phase
+  /// (the paper uses 15 minutes).
+  Duration window = Duration::minutes(15);
+
+  enum class Phase { kAnnounce, kWithdraw, kOutside };
+
+  [[nodiscard]] Phase label(Timestamp time) const;
+
+  /// Phase-start times (announce and withdraw) within [day_start,
+  /// day_start+24h), for driving origin routers.
+  [[nodiscard]] std::vector<Timestamp> announce_times(Timestamp day_start) const;
+  [[nodiscard]] std::vector<Timestamp> withdraw_times(Timestamp day_start) const;
+};
+
+[[nodiscard]] const char* label(BeaconSchedule::Phase phase);
+
+/// Figure 6 / §6 "Revealed Information": unique non-empty community
+/// attributes bucketed by the phases in which they were observed.
+struct RevealedStats {
+  std::uint64_t total_unique = 0;
+  std::uint64_t withdrawal_only = 0;  // revealed exclusively in withdraw phases
+  std::uint64_t announce_only = 0;
+  std::uint64_t outside_only = 0;
+  std::uint64_t ambiguous = 0;  // seen in more than one bucket
+
+  [[nodiscard]] double withdrawal_ratio() const {
+    return total_unique == 0 ? 0.0
+                             : static_cast<double>(withdrawal_only) /
+                                   static_cast<double>(total_unique);
+  }
+};
+
+/// Counts unique community attributes (the full CommunitySet as a value)
+/// across all announcements, bucketed by phase exclusivity.
+[[nodiscard]] RevealedStats analyze_revealed(const UpdateStream& stream,
+                                             const BeaconSchedule& schedule);
+
+/// A community-exploration event: a run of announcements for one
+/// (session, prefix) with an unchanged AS path but changing communities,
+/// inside a withdrawal phase — the paper's analogue of path exploration.
+struct ExplorationEvent {
+  SessionKey session;
+  Prefix prefix;
+  AsPath as_path;
+  Timestamp begin;
+  Timestamp end;
+  int nc_count = 0;
+  /// Distinct community attributes observed during the run.
+  int distinct_attributes = 0;
+};
+
+/// Scans a time-sorted stream for community-exploration events (>= 2 nc
+/// announcements on the same path within one withdrawal phase).
+[[nodiscard]] std::vector<ExplorationEvent> find_community_exploration(
+    const UpdateStream& stream, const BeaconSchedule& schedule);
+
+/// One point of the Figure 4/5 cumulative-count series.
+struct SeriesPoint {
+  Timestamp time;
+  AnnouncementType type;
+  CommunitySet communities;
+  AsPath as_path;
+};
+
+/// Extracts the classified announcement series for a single (session,
+/// prefix), optionally restricted to one AS path, plus the withdrawal
+/// times (the vertical lines of Figures 4/5).
+struct RouteSeries {
+  std::vector<SeriesPoint> announcements;
+  std::vector<Timestamp> withdrawals;
+};
+
+[[nodiscard]] RouteSeries route_series(
+    const UpdateStream& stream, const SessionKey& session,
+    const Prefix& prefix, const std::optional<AsPath>& only_path = std::nullopt);
+
+}  // namespace bgpcc::core

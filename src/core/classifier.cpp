@@ -1,0 +1,118 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+
+namespace bgpcc::core {
+
+const char* label(AnnouncementType type) {
+  switch (type) {
+    case AnnouncementType::kPc:
+      return "pc";
+    case AnnouncementType::kPn:
+      return "pn";
+    case AnnouncementType::kNc:
+      return "nc";
+    case AnnouncementType::kNn:
+      return "nn";
+    case AnnouncementType::kXc:
+      return "xc";
+    case AnnouncementType::kXn:
+      return "xn";
+  }
+  return "??";
+}
+
+std::uint64_t TypeCounts::total() const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : counts) sum += c;
+  return sum;
+}
+
+double TypeCounts::share(AnnouncementType type) const {
+  std::uint64_t sum = total();
+  if (sum == 0) return 0.0;
+  return static_cast<double>(count(type)) / static_cast<double>(sum);
+}
+
+TypeCounts& TypeCounts::operator+=(const TypeCounts& other) {
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  first_sightings += other.first_sightings;
+  withdrawals += other.withdrawals;
+  nn_with_med_change += other.nn_with_med_change;
+  return *this;
+}
+
+std::optional<AnnouncementType> Classifier::classify(
+    const UpdateRecord& record) {
+  if (!record.announcement) {
+    ++counts_.withdrawals;
+    return std::nullopt;
+  }
+  auto key = std::make_pair(record.session, record.prefix);
+  auto it = last_.find(key);
+  if (it == last_.end()) {
+    ++counts_.first_sightings;
+    last_.emplace(std::move(key),
+                  StreamState{record.attrs.as_path, record.attrs.communities,
+                              record.attrs.med});
+    return std::nullopt;
+  }
+
+  StreamState& prev = it->second;
+  bool path_changed = prev.as_path != record.attrs.as_path;
+  bool comm_changed = prev.communities != record.attrs.communities;
+  bool prepend_only =
+      path_changed &&
+      record.attrs.as_path.prepending_only_change_from(prev.as_path);
+  bool med_changed = prev.med != record.attrs.med;
+
+  AnnouncementType type;
+  if (!path_changed) {
+    type = comm_changed ? AnnouncementType::kNc : AnnouncementType::kNn;
+    if (type == AnnouncementType::kNn && med_changed) {
+      ++counts_.nn_with_med_change;
+    }
+  } else if (prepend_only) {
+    type = comm_changed ? AnnouncementType::kXc : AnnouncementType::kXn;
+  } else {
+    type = comm_changed ? AnnouncementType::kPc : AnnouncementType::kPn;
+  }
+  counts_.add(type);
+
+  prev.as_path = record.attrs.as_path;
+  prev.communities = record.attrs.communities;
+  prev.med = record.attrs.med;
+  return type;
+}
+
+TypeCounts classify_stream(
+    const UpdateStream& stream,
+    const std::function<void(const UpdateRecord&,
+                             std::optional<AnnouncementType>)>& callback) {
+  Classifier classifier;
+  for (const UpdateRecord& record : stream.records()) {
+    auto type = classifier.classify(record);
+    if (callback) callback(record, type);
+  }
+  return classifier.counts();
+}
+
+std::vector<std::pair<SessionKey, TypeCounts>> per_session_types(
+    const UpdateStream& stream, const std::optional<Prefix>& only_prefix) {
+  std::map<SessionKey, Classifier> classifiers;
+  for (const UpdateRecord& record : stream.records()) {
+    if (only_prefix && record.prefix != *only_prefix) continue;
+    classifiers[record.session].classify(record);
+  }
+  std::vector<std::pair<SessionKey, TypeCounts>> out;
+  out.reserve(classifiers.size());
+  for (auto& [key, classifier] : classifiers) {
+    out.emplace_back(key, classifier.counts());
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.total() > b.second.total();
+  });
+  return out;
+}
+
+}  // namespace bgpcc::core

@@ -1,0 +1,103 @@
+// The paper's §5 announcement-type classifier.
+//
+// Consecutive announcements on the same (session, prefix) stream are
+// compared: did the AS path change, was the change prepending-only, did the
+// community attribute change? Six types result:
+//
+//   pc  path + community changed        xc  prepending-only + community
+//   pn  path changed only               xn  prepending-only
+//   nc  community changed only          nn  neither changed ("duplicate")
+//
+// Withdrawals do not reset the per-stream comparison state (Figure 4's
+// post-withdrawal phases open with a pc against the pre-withdrawal state).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/stream.h"
+
+namespace bgpcc::core {
+
+enum class AnnouncementType : std::uint8_t {
+  kPc = 0,  // path + community change
+  kPn = 1,  // path change only
+  kNc = 2,  // community change only
+  kNn = 3,  // no change
+  kXc = 4,  // prepending-only path change + community change
+  kXn = 5,  // prepending-only path change
+};
+
+inline constexpr std::array<AnnouncementType, 6> kAllAnnouncementTypes = {
+    AnnouncementType::kPc, AnnouncementType::kPn, AnnouncementType::kNc,
+    AnnouncementType::kNn, AnnouncementType::kXc, AnnouncementType::kXn};
+
+/// Two-letter label as used in the paper ("pc", "nn", ...).
+[[nodiscard]] const char* label(AnnouncementType type);
+
+/// Per-type tallies plus the bookkeeping categories the shares exclude.
+struct TypeCounts {
+  std::array<std::uint64_t, 6> counts{};
+  /// First announcement ever seen on a stream: no predecessor, untyped.
+  std::uint64_t first_sightings = 0;
+  std::uint64_t withdrawals = 0;
+  /// nn announcements whose MED differs from the predecessor (the paper
+  /// acknowledges MED changes as a cause of nn; tracked for the "manual
+  /// check" step).
+  std::uint64_t nn_with_med_change = 0;
+
+  void add(AnnouncementType type) {
+    ++counts[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] std::uint64_t count(AnnouncementType type) const {
+    return counts[static_cast<std::size_t>(type)];
+  }
+  /// Total classified announcements (denominator of the shares).
+  [[nodiscard]] std::uint64_t total() const;
+  /// Share of a type among classified announcements, in [0,1].
+  [[nodiscard]] double share(AnnouncementType type) const;
+
+  TypeCounts& operator+=(const TypeCounts& other);
+};
+
+/// Streaming classifier; feed records in chronological order per session.
+class Classifier {
+ public:
+  /// Classifies an announcement against the stream's previous one.
+  /// Returns nullopt for withdrawals (tallied) and first sightings.
+  std::optional<AnnouncementType> classify(const UpdateRecord& record);
+
+  [[nodiscard]] const TypeCounts& counts() const { return counts_; }
+
+  /// Number of distinct (session, prefix) streams seen.
+  [[nodiscard]] std::size_t stream_count() const { return last_.size(); }
+
+ private:
+  struct StreamState {
+    AsPath as_path;
+    CommunitySet communities;
+    std::optional<std::uint32_t> med;
+  };
+  std::map<std::pair<SessionKey, Prefix>, StreamState> last_;
+  TypeCounts counts_;
+};
+
+/// Classifies a whole (time-sorted) stream. The optional callback sees
+/// every record with its classification.
+TypeCounts classify_stream(
+    const UpdateStream& stream,
+    const std::function<void(const UpdateRecord&,
+                             std::optional<AnnouncementType>)>& callback = {});
+
+/// Per-session tallies (Figure 3): classification restricted to one prefix
+/// if `only_prefix` is set. Result is sorted by announcement count,
+/// descending.
+[[nodiscard]] std::vector<std::pair<SessionKey, TypeCounts>> per_session_types(
+    const UpdateStream& stream,
+    const std::optional<Prefix>& only_prefix = std::nullopt);
+
+}  // namespace bgpcc::core

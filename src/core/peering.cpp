@@ -1,0 +1,59 @@
+#include "core/peering.h"
+
+#include <algorithm>
+
+namespace bgpcc::core {
+
+std::vector<PeeringEstimate> infer_peering(const UpdateStream& stream,
+                                           const PeeringOptions& options) {
+  struct Evidence {
+    std::uint64_t announcements = 0;
+    std::set<CommunitySet> tagsets;
+    std::set<Community> codes;
+  };
+  std::map<std::pair<Asn, Asn>, Evidence> pairs;
+
+  for (const UpdateRecord& record : stream.records()) {
+    if (!record.announcement) continue;
+    std::vector<Asn> path = record.attrs.as_path.dedup_sequence();
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      Asn transit = path[i];
+      Asn neighbor = path[i + 1];
+      if (!transit.is_2byte()) continue;
+      std::uint16_t ns = static_cast<std::uint16_t>(transit.value());
+      // Communities in the transit's namespace form the ingress tag-set.
+      CommunitySet tagset;
+      for (Community c : record.attrs.communities) {
+        if (c.asn16() == ns) tagset.add(c);
+      }
+      Evidence& e = pairs[{transit, neighbor}];
+      ++e.announcements;
+      if (!tagset.empty()) {
+        e.tagsets.insert(tagset);
+        for (Community c : tagset) e.codes.insert(c);
+      }
+    }
+  }
+
+  std::vector<PeeringEstimate> out;
+  for (const auto& [key, e] : pairs) {
+    if (e.announcements < options.min_announcements) continue;
+    PeeringEstimate estimate;
+    estimate.transit = key.first;
+    estimate.neighbor = key.second;
+    estimate.announcements = e.announcements;
+    estimate.distinct_ingress_tagsets = static_cast<int>(e.tagsets.size());
+    estimate.distinct_location_codes = static_cast<int>(e.codes.size());
+    out.push_back(estimate);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PeeringEstimate& a, const PeeringEstimate& b) {
+              if (a.distinct_ingress_tagsets != b.distinct_ingress_tagsets) {
+                return a.distinct_ingress_tagsets > b.distinct_ingress_tagsets;
+              }
+              return a.announcements > b.announcements;
+            });
+  return out;
+}
+
+}  // namespace bgpcc::core

@@ -1,0 +1,49 @@
+// Peering inference (§7): "the updates we observe often allow us to
+// remotely infer the number of interconnections between two ASes and the
+// location where they peer."
+//
+// Community exploration is the side channel: during path hunting, a
+// geo-tagging transit reveals one distinct ingress tag-set per
+// interconnection with its neighbor. Counting distinct tag-sets observed
+// on (transit, neighbor)-adjacent paths lower-bounds the number of
+// peering points — from collector vantage only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/stream.h"
+
+namespace bgpcc::core {
+
+/// Inferred interconnection facts for one (transit, neighbor) AS pair,
+/// where `transit` appears immediately collector-side of `neighbor` on
+/// observed AS paths.
+struct PeeringEstimate {
+  Asn transit;
+  Asn neighbor;
+  /// Announcements observed over this adjacency.
+  std::uint64_t announcements = 0;
+  /// Distinct transit-namespace community attribute sets — a lower bound
+  /// on the number of interconnections (ingress points).
+  int distinct_ingress_tagsets = 0;
+  /// Distinct individual transit-namespace community values (location
+  /// codes: cities, countries, regions).
+  int distinct_location_codes = 0;
+};
+
+struct PeeringOptions {
+  /// Ignore adjacencies with fewer observations (noise floor).
+  std::uint64_t min_announcements = 5;
+};
+
+/// Scans announcements for transit/neighbor adjacencies and counts the
+/// ingress tag-sets each adjacency reveals. Only 16-bit transit ASNs can
+/// be matched to community namespaces. Results are sorted by
+/// distinct_ingress_tagsets descending.
+[[nodiscard]] std::vector<PeeringEstimate> infer_peering(
+    const UpdateStream& stream, const PeeringOptions& options = {});
+
+}  // namespace bgpcc::core

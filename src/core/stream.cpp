@@ -1,0 +1,160 @@
+#include "core/stream.h"
+
+#include <algorithm>
+#include <map>
+
+#include "bgp/codec.h"
+#include "mrt/mrt.h"
+
+namespace bgpcc::core {
+
+std::string SessionKey::to_string() const {
+  return collector + "|" + peer_asn.to_string() + "|" +
+         peer_address.to_string();
+}
+
+void UpdateStream::add_message(const std::string& collector, Asn peer_asn,
+                               const IpAddress& peer_address, Timestamp time,
+                               const UpdateMessage& update) {
+  SessionKey key{collector, peer_asn, peer_address};
+  for (const Prefix& prefix : update.withdrawn) {
+    UpdateRecord record;
+    record.time = time;
+    record.session = key;
+    record.prefix = prefix;
+    record.announcement = false;
+    records_.push_back(std::move(record));
+  }
+  if (!update.announced.empty() && update.attrs) {
+    for (const Prefix& prefix : update.announced) {
+      UpdateRecord record;
+      record.time = time;
+      record.session = key;
+      record.prefix = prefix;
+      record.announcement = true;
+      record.attrs = *update.attrs;
+      records_.push_back(std::move(record));
+    }
+  }
+}
+
+UpdateStream UpdateStream::from_collector(
+    const sim::RouteCollector& collector) {
+  UpdateStream stream;
+  for (const sim::RecordedMessage& rec : collector.messages()) {
+    stream.add_message(collector.name(), rec.peer_asn, rec.peer_address,
+                       rec.time, rec.update);
+  }
+  return stream;
+}
+
+UpdateStream UpdateStream::from_mrt_file(const std::string& collector,
+                                         const std::string& path) {
+  UpdateStream stream;
+  for (const mrt::TimedMessage& tm : mrt::read_all_messages(path)) {
+    if (peek_type(tm.message.bgp_message) != MessageType::kUpdate) continue;
+    CodecOptions options;
+    options.four_byte_asn = tm.four_byte_asn;
+    UpdateMessage update = decode_update(tm.message.bgp_message, options);
+    stream.add_message(collector, tm.message.peer_asn, tm.message.peer_ip,
+                       tm.timestamp, update);
+  }
+  return stream;
+}
+
+void UpdateStream::merge(const UpdateStream& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+}
+
+void UpdateStream::sort_by_time() {
+  std::stable_sort(
+      records_.begin(), records_.end(),
+      [](const UpdateRecord& a, const UpdateRecord& b) { return a.time < b.time; });
+}
+
+std::size_t UpdateStream::announcement_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [](const UpdateRecord& r) { return r.announcement; }));
+}
+
+std::size_t UpdateStream::withdrawal_count() const {
+  return size() - announcement_count();
+}
+
+std::set<SessionKey> UpdateStream::sessions() const {
+  std::set<SessionKey> out;
+  for (const UpdateRecord& r : records_) out.insert(r.session);
+  return out;
+}
+
+CleaningReport clean(UpdateStream& stream, const CleaningOptions& options) {
+  CleaningReport report;
+
+  // 1. Route-server AS path repair: prepend the server's ASN when absent.
+  if (!options.route_servers.empty()) {
+    std::map<IpAddress, Asn> servers(options.route_servers.begin(),
+                                     options.route_servers.end());
+    for (UpdateRecord& record : stream.records()) {
+      if (!record.announcement) continue;
+      auto it = servers.find(record.session.peer_address);
+      if (it == servers.end()) continue;
+      auto first = record.attrs.as_path.first_as();
+      if (!first || *first != it->second) {
+        record.attrs.as_path.prepend(it->second);
+        ++report.route_server_paths_repaired;
+      }
+    }
+  }
+
+  // 2. Unallocated-resource filtering.
+  if (options.registry != nullptr) {
+    const Registry& registry = *options.registry;
+    std::erase_if(stream.records(), [&](const UpdateRecord& record) {
+      if (record.announcement) {
+        for (Asn asn : record.attrs.as_path.flatten()) {
+          if (!registry.asn_allocated(asn, record.time)) {
+            ++report.dropped_unallocated_asn;
+            return true;
+          }
+        }
+      }
+      if (!registry.prefix_allocated(record.prefix, record.time)) {
+        ++report.dropped_unallocated_prefix;
+        return true;
+      }
+      return false;
+    });
+  }
+
+  // 3. Second-granularity repair: offset successive same-second records on
+  // a session by sub_second_step, preserving arrival order.
+  if (options.fix_second_granularity) {
+    stream.sort_by_time();
+    std::map<SessionKey, std::pair<std::int64_t, int>> last_second;
+    for (UpdateRecord& record : stream.records()) {
+      // Collectors with real sub-second stamps are untouched.
+      if (record.time.unix_micros() % 1000000 != 0) continue;
+      auto [it, inserted] = last_second.try_emplace(
+          record.session, std::make_pair(record.time.unix_seconds(), 0));
+      auto& [second, count] = it->second;
+      if (!inserted && second == record.time.unix_seconds()) {
+        ++count;
+        record.time =
+            record.time + Duration::micros(options.sub_second_step
+                                               .count_micros() *
+                                           count);
+        ++report.timestamps_adjusted;
+      } else {
+        second = record.time.unix_seconds();
+        count = 0;
+      }
+    }
+    stream.sort_by_time();
+  }
+
+  return report;
+}
+
+}  // namespace bgpcc::core

@@ -1,0 +1,112 @@
+// Normalized update streams: the unit of the paper's measurement study.
+// Raw collector output (simulated or MRT files) is exploded into
+// per-prefix records, grouped by BGP session, then cleaned exactly as
+// §4 describes: unallocated-resource filtering, route-server AS-path
+// repair, and sub-second ordering for second-granularity collectors.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/message.h"
+#include "core/registry.h"
+#include "sim/collector.h"
+
+namespace bgpcc::core {
+
+/// Identifies one BGP session at one collector: the stream key of the
+/// whole analysis (the paper groups "by the prefix and the BGP session of
+/// a peer AS / next-hop").
+struct SessionKey {
+  std::string collector;
+  Asn peer_asn;
+  IpAddress peer_address;
+
+  [[nodiscard]] std::string to_string() const;
+  friend auto operator<=>(const SessionKey&, const SessionKey&) = default;
+};
+
+/// One announcement or withdrawal of one prefix on one session.
+struct UpdateRecord {
+  Timestamp time;
+  SessionKey session;
+  Prefix prefix;
+  bool announcement = true;  // false: withdrawal
+  PathAttributes attrs;      // meaningful only when announcement
+
+  friend auto operator<=>(const UpdateRecord&, const UpdateRecord&) = default;
+};
+
+/// A chronologically ordered collection of UpdateRecords, with builders
+/// from simulator collectors and from MRT files.
+class UpdateStream {
+ public:
+  UpdateStream() = default;
+
+  void add(UpdateRecord record) { records_.push_back(std::move(record)); }
+
+  /// Explodes a BGP UPDATE into one record per announced/withdrawn prefix.
+  void add_message(const std::string& collector, Asn peer_asn,
+                   const IpAddress& peer_address, Timestamp time,
+                   const UpdateMessage& update);
+
+  /// Ingests everything a simulated collector recorded.
+  [[nodiscard]] static UpdateStream from_collector(
+      const sim::RouteCollector& collector);
+
+  /// Parses an MRT file (BGP4MP messages) into a stream.
+  /// `collector` names the file's origin for the session keys.
+  [[nodiscard]] static UpdateStream from_mrt_file(const std::string& collector,
+                                                  const std::string& path);
+
+  /// Appends all records of another stream (e.g. merging collectors).
+  void merge(const UpdateStream& other);
+
+  /// Stable time sort (preserves arrival order within equal timestamps —
+  /// a guarantee the second-granularity repair depends on).
+  void sort_by_time();
+
+  [[nodiscard]] const std::vector<UpdateRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::vector<UpdateRecord>& records() { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::size_t announcement_count() const;
+  [[nodiscard]] std::size_t withdrawal_count() const;
+  [[nodiscard]] std::set<SessionKey> sessions() const;
+
+ private:
+  std::vector<UpdateRecord> records_;
+};
+
+/// Knobs for the §4 cleaning pipeline.
+struct CleaningOptions {
+  /// When set, drop records whose origin/peer ASN or prefix was not
+  /// allocated at message time.
+  const Registry* registry = nullptr;
+  /// Peers (by address) that are IXP route servers not inserting their own
+  /// ASN: their ASN is prepended to the AS path during normalization.
+  std::vector<std::pair<IpAddress, Asn>> route_servers;
+  /// Repair second-granularity collector timestamps by spacing same-second
+  /// records `sub_second_step` apart, preserving order (§4: "assume that
+  /// each subsequent message arrives 0.01 ms after the last").
+  bool fix_second_granularity = true;
+  Duration sub_second_step = Duration::micros(10);
+};
+
+struct CleaningReport {
+  std::size_t dropped_unallocated_asn = 0;
+  std::size_t dropped_unallocated_prefix = 0;
+  std::size_t route_server_paths_repaired = 0;
+  std::size_t timestamps_adjusted = 0;
+};
+
+/// Applies the cleaning pipeline in place.
+CleaningReport clean(UpdateStream& stream, const CleaningOptions& options);
+
+}  // namespace bgpcc::core

@@ -1,0 +1,109 @@
+#include "core/tables.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "netbase/error.h"
+
+namespace bgpcc::core {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { rows_.emplace_back(); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      std::string padded = cell;
+      if (i == 0) {
+        padded.append(widths[i] - cell.size(), ' ');
+      } else {
+        padded.insert(0, widths[i] - cell.size(), ' ');
+      }
+      if (i > 0) line += "  ";
+      line += padded;
+    }
+    return line;
+  };
+  std::size_t total = headers_.size() > 0 ? (headers_.size() - 1) * 2 : 0;
+  for (std::size_t w : widths) total += w;
+
+  std::string out = render_row(headers_) + "\n";
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += std::string(total, '-') + "\n";
+    } else {
+      out += render_row(row) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string human_count(std::uint64_t value) {
+  if (value >= 1000000000ull) {
+    return format_double(static_cast<double>(value) / 1e9, 1) + "B";
+  }
+  if (value >= 1000000ull) {
+    return format_double(static_cast<double>(value) / 1e6, 1) + "M";
+  }
+  return with_commas(value);
+}
+
+std::string percent(double fraction, int decimals) {
+  return format_double(fraction * 100.0, decimals) + "%";
+}
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+void write_csv(const std::string& path,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw ConfigError("cannot open CSV output: " + path);
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  };
+  write_row(headers);
+  for (const auto& row : rows) write_row(row);
+}
+
+}  // namespace bgpcc::core

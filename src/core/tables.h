@@ -1,0 +1,42 @@
+// Text-table and number formatting helpers for the bench harness: the
+// per-table/figure binaries print paper-style rows with these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bgpcc::core {
+
+/// Fixed-width aligned text table (first column left-aligned, the rest
+/// right-aligned).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Adds a horizontal separator line.
+  void add_separator();
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+/// 1234567890 (with unit scaling) -> "1,234.6M"; below 1M -> commas.
+[[nodiscard]] std::string human_count(std::uint64_t value);
+/// 0.3371 -> "33.7%".
+[[nodiscard]] std::string percent(double fraction, int decimals = 1);
+/// Fixed decimals: format_double(1.2345, 2) -> "1.23".
+[[nodiscard]] std::string format_double(double value, int decimals = 2);
+
+/// Writes rows as CSV (no quoting — callers pass clean cells).
+void write_csv(const std::string& path,
+               const std::vector<std::string>& headers,
+               const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace bgpcc::core

@@ -1,0 +1,65 @@
+// Per-AS community-behavior inference (§7 future work, implemented here):
+// from collector vantage points only, estimate how each AS handles
+// communities — tags its own, cleans everything, or blindly propagates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/stream.h"
+
+namespace bgpcc::core {
+
+enum class CommunityBehavior {
+  kTagger,      // adds communities in its own namespace
+  kCleaner,     // announcements via this AS carry (almost) no communities
+  kPropagator,  // passes foreign communities through unchanged
+  kMixed,       // evidence of tagging and cleaning on different sessions
+  kUnknown,     // not enough evidence
+};
+
+[[nodiscard]] const char* label(CommunityBehavior behavior);
+
+/// Evidence gathered for one AS across all sessions/prefixes.
+struct AsEvidence {
+  Asn asn;
+  /// Announcements in which this AS appeared on the AS path.
+  std::uint64_t on_path = 0;
+  /// ... of those, how many carried a community in this AS's 16-bit
+  /// namespace (asn16 == this AS) -> tagging signal.
+  std::uint64_t own_namespace_tagged = 0;
+  /// Announcements where this AS was the collector peer (first hop).
+  std::uint64_t as_peer = 0;
+  /// ... of those, announcements carrying any community at all.
+  std::uint64_t as_peer_with_communities = 0;
+  /// ... of those, announcements carrying a community from an AS deeper in
+  /// the path (foreign) -> propagation signal.
+  std::uint64_t as_peer_with_foreign = 0;
+
+  CommunityBehavior classification = CommunityBehavior::kUnknown;
+};
+
+/// Inference thresholds (fractions in [0,1]).
+struct TomographyOptions {
+  /// Minimum announcements to classify at all.
+  std::uint64_t min_on_path = 10;
+  /// Peer cleans if < this fraction of its announcements carry communities
+  /// (the paper's AS20811 removes communities in >99% of cases).
+  double cleaner_max_community_fraction = 0.01;
+  /// Tagger if >= this fraction of on-path announcements carry a community
+  /// in its namespace.
+  double tagger_min_fraction = 0.10;
+  /// Propagator if >= this fraction of peered announcements carry foreign
+  /// communities.
+  double propagator_min_fraction = 0.50;
+};
+
+/// Scans the stream and classifies every AS with enough evidence.
+/// Only 16-bit ASNs can be matched to community namespaces; larger ASNs
+/// are classified from peer-level evidence alone.
+[[nodiscard]] std::vector<AsEvidence> infer_community_behavior(
+    const UpdateStream& stream, const TomographyOptions& options = {});
+
+}  // namespace bgpcc::core

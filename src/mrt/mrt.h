@@ -1,0 +1,136 @@
+// RFC 6396 MRT framing: the archive format RouteViews and RIPE RIS publish.
+//
+// Supported record types: BGP4MP / BGP4MP_ET with MESSAGE, MESSAGE_AS4 and
+// STATE_CHANGE(_AS4) subtypes. BGP4MP_ET carries microsecond timestamps;
+// plain BGP4MP is second-granularity — the paper notes some collectors only
+// record seconds, and the analysis pipeline's normalization step handles
+// exactly that distinction.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/ip.h"
+#include "netbase/timeutil.h"
+
+namespace bgpcc::mrt {
+
+/// MRT record types (RFC 6396 §4).
+enum class RecordType : std::uint16_t {
+  kBgp4mp = 16,
+  kBgp4mpEt = 17,
+};
+
+/// BGP4MP subtypes (RFC 6396 §4.4).
+enum class Bgp4mpSubtype : std::uint16_t {
+  kStateChange = 0,
+  kMessage = 1,
+  kMessageAs4 = 4,
+  kStateChangeAs4 = 5,
+};
+
+/// FSM states for STATE_CHANGE records (RFC 4271 §8.2.2 numbering).
+enum class FsmState : std::uint16_t {
+  kIdle = 1,
+  kConnect = 2,
+  kActive = 3,
+  kOpenSent = 4,
+  kOpenConfirm = 5,
+  kEstablished = 6,
+};
+
+/// A raw MRT record: header fields plus undecoded body.
+struct Record {
+  Timestamp timestamp;  // microsecond precision iff the type is *_ET
+  std::uint16_t type = 0;
+  std::uint16_t subtype = 0;
+  std::vector<std::uint8_t> body;  // excludes the ET microsecond field
+
+  [[nodiscard]] bool is_bgp4mp() const {
+    return type == static_cast<std::uint16_t>(RecordType::kBgp4mp) ||
+           type == static_cast<std::uint16_t>(RecordType::kBgp4mpEt);
+  }
+};
+
+/// Decoded BGP4MP_MESSAGE(_AS4): one BGP message seen on one collector
+/// session, with the session endpoints identified.
+struct Bgp4mpMessage {
+  Asn peer_asn;
+  Asn local_asn;
+  std::uint16_t interface_index = 0;
+  IpAddress peer_ip;
+  IpAddress local_ip;
+  /// The full BGP message, including its 19-byte header.
+  std::vector<std::uint8_t> bgp_message;
+};
+
+/// Decoded BGP4MP_STATE_CHANGE(_AS4).
+struct Bgp4mpStateChange {
+  Asn peer_asn;
+  Asn local_asn;
+  std::uint16_t interface_index = 0;
+  IpAddress peer_ip;
+  IpAddress local_ip;
+  FsmState old_state = FsmState::kIdle;
+  FsmState new_state = FsmState::kIdle;
+};
+
+/// Serializes one record (header + body) to the stream.
+class Writer {
+ public:
+  /// Writes through an externally owned stream (must be binary-mode).
+  explicit Writer(std::ostream& out) : out_(&out) {}
+
+  /// `extended_time` selects BGP4MP_ET (microsecond stamps) vs BGP4MP
+  /// (second stamps — collectors configured like the paper's
+  /// second-granularity ones).
+  void write_message(Timestamp when, const Bgp4mpMessage& message,
+                     bool extended_time = true);
+  void write_state_change(Timestamp when, const Bgp4mpStateChange& change,
+                          bool extended_time = true);
+  /// Low-level escape hatch: write a pre-built record verbatim.
+  void write_record(const Record& record);
+
+  [[nodiscard]] std::size_t records_written() const { return count_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t count_ = 0;
+};
+
+/// Pull-based record reader.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(&in) {}
+
+  /// Returns the next record, or nullopt at clean EOF. Throws DecodeError
+  /// on a truncated or corrupt record.
+  [[nodiscard]] std::optional<Record> next();
+
+  /// Decodes a BGP4MP_MESSAGE(_AS4) body. Throws DecodeError if the record
+  /// has a different type/subtype. `four_byte` output reports whether the
+  /// record used AS4 encoding (needed to decode the inner BGP message).
+  [[nodiscard]] static Bgp4mpMessage parse_message(const Record& record,
+                                                   bool* four_byte = nullptr);
+  [[nodiscard]] static Bgp4mpStateChange parse_state_change(
+      const Record& record);
+
+ private:
+  std::istream* in_;
+};
+
+/// Convenience: reads every BGP4MP message record from an MRT file.
+/// Returns (timestamp, message, four_byte_asn) triples in file order.
+struct TimedMessage {
+  Timestamp timestamp;
+  Bgp4mpMessage message;
+  bool four_byte_asn = true;
+};
+[[nodiscard]] std::vector<TimedMessage> read_all_messages(
+    const std::string& path);
+
+}  // namespace bgpcc::mrt

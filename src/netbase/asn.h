@@ -1,0 +1,55 @@
+// Autonomous System Number strong type (RFC 6793: 32-bit ASNs).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace bgpcc {
+
+/// A 4-octet AS number. Wraps uint32_t so ASNs cannot be confused with
+/// other integral quantities (router ids, community values, ...).
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// True if the ASN fits in the original 2-octet space.
+  [[nodiscard]] constexpr bool is_2byte() const { return value_ <= 0xffff; }
+
+  /// RFC 6996 private-use ranges (64512-65534 and 4200000000-4294967294).
+  [[nodiscard]] constexpr bool is_private() const {
+    return (value_ >= 64512 && value_ <= 65534) ||
+           (value_ >= 4200000000u && value_ <= 4294967294u);
+  }
+
+  /// Reserved values that must not appear in a clean AS path: 0 (RFC 7607),
+  /// 23456 (AS_TRANS, RFC 6793), 65535 and 4294967295 (RFC 7300), plus the
+  /// documentation ranges 64496-64511 and 65536-65551 (RFC 5398).
+  [[nodiscard]] constexpr bool is_reserved() const {
+    return value_ == 0 || value_ == 23456 || value_ == 65535 ||
+           value_ == 4294967295u || (value_ >= 64496 && value_ <= 64511) ||
+           (value_ >= 65536 && value_ <= 65551);
+  }
+
+  /// "AS3356" style rendering.
+  [[nodiscard]] std::string to_string() const {
+    return "AS" + std::to_string(value_);
+  }
+
+  friend constexpr auto operator<=>(Asn a, Asn b) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct AsnHash {
+  std::size_t operator()(Asn asn) const noexcept {
+    return std::hash<std::uint32_t>{}(asn.value());
+  }
+};
+
+}  // namespace bgpcc

@@ -1,0 +1,82 @@
+// Bounds-checked big-endian byte readers/writers used by the BGP and MRT
+// wire codecs. All multi-byte integers on the wire are network byte order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netbase/error.h"
+
+namespace bgpcc {
+
+/// Sequential reader over an immutable byte buffer.
+///
+/// Every read checks the remaining length and throws DecodeError on
+/// underrun, so callers can parse untrusted input without manual bounds
+/// arithmetic. The reader does not own the buffer; the caller must keep it
+/// alive for the reader's lifetime.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+  /// Absolute offset of the next byte to be read.
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+
+  /// Consumes `n` bytes and returns a view into the underlying buffer.
+  [[nodiscard]] std::span<const std::uint8_t> bytes(std::size_t n);
+
+  /// Returns a sub-reader over the next `n` bytes and consumes them.
+  /// Useful for length-prefixed substructures (e.g. the path attribute
+  /// block of a BGP UPDATE).
+  [[nodiscard]] ByteReader sub(std::size_t n);
+
+  /// Skips `n` bytes (throws if fewer remain).
+  void skip(std::size_t n);
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only big-endian byte buffer builder.
+///
+/// Length fields that are only known after the payload is serialized are
+/// handled with placeholder()/patch_u16().
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Reserves a 2-byte slot (written as zero) and returns its offset for a
+  /// later patch_u16() once the enclosed payload length is known.
+  [[nodiscard]] std::size_t placeholder_u16();
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Renders bytes as lowercase hex, e.g. {0xde,0xad} -> "dead". Debug aid.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+}  // namespace bgpcc

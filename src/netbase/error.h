@@ -1,0 +1,30 @@
+// Error types shared across bgpcc libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bgpcc {
+
+/// Thrown when decoding malformed wire-format input (BGP or MRT bytes).
+/// Decoders never read out of bounds; they throw this instead.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a value cannot be parsed from its textual representation
+/// (e.g. "10.0.0.0/33" as a prefix).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on API misuse that violates a documented precondition
+/// (e.g. adding a session between routers that share no link).
+class ConfigError : public std::logic_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace bgpcc

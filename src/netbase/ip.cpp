@@ -1,0 +1,248 @@
+#include "netbase/ip.h"
+
+#include <charconv>
+#include <cstring>
+
+#include "netbase/error.h"
+
+namespace bgpcc {
+namespace {
+
+// FNV-1a over a byte range; sufficient for hash-table keying.
+std::size_t fnv1a(std::span<const std::uint8_t> data, std::size_t seed) {
+  std::size_t h = seed ^ 14695981039346656037ull;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Parses a decimal integer in [0, max]; returns false on malformed input.
+bool parse_int(std::string_view text, unsigned max, unsigned& out) {
+  if (text.empty() || text.size() > 10) return false;
+  unsigned value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  if (value > max) return false;
+  out = value;
+  return true;
+}
+
+IpAddress parse_v4(std::string_view text) {
+  std::array<std::uint8_t, 4> octets{};
+  std::size_t start = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::size_t end = (i == 3) ? text.size() : text.find('.', start);
+    if (end == std::string_view::npos) {
+      throw ParseError("malformed IPv4 address: " + std::string(text));
+    }
+    unsigned value = 0;
+    if (!parse_int(text.substr(start, end - start), 255, value)) {
+      throw ParseError("malformed IPv4 octet in: " + std::string(text));
+    }
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+    start = end + 1;
+  }
+  return IpAddress::v4(octets[0], octets[1], octets[2], octets[3]);
+}
+
+// Parses one hex group of an IPv6 address (1-4 hex digits).
+bool parse_hex_group(std::string_view text, std::uint16_t& out) {
+  if (text.empty() || text.size() > 4) return false;
+  unsigned value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value, /*base=*/16);
+  if (ec != std::errc() || ptr != text.data() + text.size()) return false;
+  out = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+IpAddress parse_v6(std::string_view text) {
+  // Split on "::" (at most one occurrence allowed).
+  std::size_t gap = text.find("::");
+  std::string_view head = (gap == std::string_view::npos)
+                              ? text
+                              : text.substr(0, gap);
+  std::string_view tail = (gap == std::string_view::npos)
+                              ? std::string_view{}
+                              : text.substr(gap + 2);
+  if (tail.find("::") != std::string_view::npos) {
+    throw ParseError("multiple '::' in IPv6 address: " + std::string(text));
+  }
+
+  auto split_groups = [&](std::string_view part,
+                          std::array<std::uint16_t, 8>& groups,
+                          std::size_t& count) {
+    if (part.empty()) return;
+    std::size_t start = 0;
+    while (true) {
+      std::size_t end = part.find(':', start);
+      std::string_view group = (end == std::string_view::npos)
+                                   ? part.substr(start)
+                                   : part.substr(start, end - start);
+      std::uint16_t value = 0;
+      if (count >= 8 || !parse_hex_group(group, value)) {
+        throw ParseError("malformed IPv6 address: " + std::string(text));
+      }
+      groups[count++] = value;
+      if (end == std::string_view::npos) break;
+      start = end + 1;
+    }
+  };
+
+  std::array<std::uint16_t, 8> head_groups{};
+  std::array<std::uint16_t, 8> tail_groups{};
+  std::size_t head_count = 0;
+  std::size_t tail_count = 0;
+  split_groups(head, head_groups, head_count);
+  split_groups(tail, tail_groups, tail_count);
+
+  if (gap == std::string_view::npos) {
+    if (head_count != 8) {
+      throw ParseError("IPv6 address needs 8 groups: " + std::string(text));
+    }
+  } else if (head_count + tail_count > 7) {
+    // "::" must compress at least one zero group.
+    throw ParseError("'::' compresses nothing in: " + std::string(text));
+  }
+
+  std::array<std::uint8_t, 16> bytes{};
+  for (std::size_t i = 0; i < head_count; ++i) {
+    bytes[i * 2] = static_cast<std::uint8_t>(head_groups[i] >> 8);
+    bytes[i * 2 + 1] = static_cast<std::uint8_t>(head_groups[i] & 0xff);
+  }
+  for (std::size_t i = 0; i < tail_count; ++i) {
+    std::size_t pos = 8 - tail_count + i;
+    bytes[pos * 2] = static_cast<std::uint8_t>(tail_groups[i] >> 8);
+    bytes[pos * 2 + 1] = static_cast<std::uint8_t>(tail_groups[i] & 0xff);
+  }
+  return IpAddress::v6(bytes);
+}
+
+}  // namespace
+
+IpAddress IpAddress::v4(std::uint32_t host_order) {
+  IpAddress addr;
+  addr.family_ = AddressFamily::kIpv4;
+  addr.storage_[0] = static_cast<std::uint8_t>(host_order >> 24);
+  addr.storage_[1] = static_cast<std::uint8_t>((host_order >> 16) & 0xff);
+  addr.storage_[2] = static_cast<std::uint8_t>((host_order >> 8) & 0xff);
+  addr.storage_[3] = static_cast<std::uint8_t>(host_order & 0xff);
+  return addr;
+}
+
+IpAddress IpAddress::v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) {
+  return v4((static_cast<std::uint32_t>(a) << 24) |
+            (static_cast<std::uint32_t>(b) << 16) |
+            (static_cast<std::uint32_t>(c) << 8) | d);
+}
+
+IpAddress IpAddress::v6(std::span<const std::uint8_t> bytes16) {
+  if (bytes16.size() != 16) {
+    throw ParseError("IPv6 address requires 16 bytes");
+  }
+  IpAddress addr;
+  addr.family_ = AddressFamily::kIpv6;
+  std::memcpy(addr.storage_.data(), bytes16.data(), 16);
+  return addr;
+}
+
+IpAddress IpAddress::from_string(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  return parse_v4(text);
+}
+
+std::span<const std::uint8_t> IpAddress::bytes() const {
+  return {storage_.data(), is_v4() ? std::size_t{4} : std::size_t{16}};
+}
+
+std::uint32_t IpAddress::v4_value() const {
+  return (static_cast<std::uint32_t>(storage_[0]) << 24) |
+         (static_cast<std::uint32_t>(storage_[1]) << 16) |
+         (static_cast<std::uint32_t>(storage_[2]) << 8) |
+         static_cast<std::uint32_t>(storage_[3]);
+}
+
+bool IpAddress::bit(int i) const {
+  std::size_t byte = static_cast<std::size_t>(i) / 8;
+  int shift = 7 - (i % 8);
+  return ((storage_[byte] >> shift) & 1) != 0;
+}
+
+IpAddress IpAddress::masked(int keep_bits) const {
+  IpAddress out = *this;
+  int width = bit_width();
+  for (int i = keep_bits; i < width; ++i) {
+    std::size_t byte = static_cast<std::size_t>(i) / 8;
+    int shift = 7 - (i % 8);
+    out.storage_[byte] &= static_cast<std::uint8_t>(~(1u << shift));
+  }
+  return out;
+}
+
+std::string IpAddress::to_string() const {
+  if (is_v4()) {
+    std::string out;
+    out.reserve(15);
+    for (int i = 0; i < 4; ++i) {
+      if (i > 0) out.push_back('.');
+      out += std::to_string(storage_[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
+  // IPv6: find the longest run of zero groups (length >= 2) to compress.
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(storage_[i * 2]) << 8) |
+        storage_[i * 2 + 1]);
+  }
+  int best_start = -1;
+  int best_len = 1;  // require at least 2 zero groups to use "::"
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  static constexpr char kDigits[] = "0123456789abcdef";
+  auto append_group = [&](std::string& out, std::uint16_t g) {
+    bool started = false;
+    for (int shift = 12; shift >= 0; shift -= 4) {
+      unsigned nibble = (g >> shift) & 0xf;
+      if (nibble != 0 || started || shift == 0) {
+        out.push_back(kDigits[nibble]);
+        started = true;
+      }
+    }
+  };
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out.push_back(':');
+    append_group(out, groups[static_cast<std::size_t>(i)]);
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+std::size_t IpAddressHash::operator()(const IpAddress& a) const noexcept {
+  return fnv1a(a.bytes(), static_cast<std::size_t>(a.family()));
+}
+
+}  // namespace bgpcc

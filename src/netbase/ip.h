@@ -1,0 +1,83 @@
+// IP address value type covering IPv4 and IPv6, used throughout the BGP
+// model (NLRI, next hops, peer addresses) and the prefix trie.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace bgpcc {
+
+enum class AddressFamily : std::uint8_t { kIpv4 = 1, kIpv6 = 2 };
+
+/// AFI values as used by MRT and MP-BGP (RFC 4760).
+[[nodiscard]] constexpr std::uint16_t afi_of(AddressFamily family) {
+  return family == AddressFamily::kIpv4 ? 1 : 2;
+}
+
+/// An IPv4 or IPv6 address.
+///
+/// IPv4 addresses occupy the first 4 bytes of the internal 16-byte storage;
+/// comparisons order IPv4 before IPv6 and then by byte value, which gives a
+/// deterministic total order for tie-breaking in the BGP decision process.
+class IpAddress {
+ public:
+  /// Default-constructs the IPv4 unspecified address 0.0.0.0.
+  constexpr IpAddress() = default;
+
+  /// Builds an IPv4 address from a host-order 32-bit value,
+  /// e.g. 0x0a000001 -> 10.0.0.1.
+  [[nodiscard]] static IpAddress v4(std::uint32_t host_order);
+  /// Builds an IPv4 address from 4 octets in textual order.
+  [[nodiscard]] static IpAddress v4(std::uint8_t a, std::uint8_t b,
+                                    std::uint8_t c, std::uint8_t d);
+  /// Builds an IPv6 address from 16 network-order bytes.
+  [[nodiscard]] static IpAddress v6(std::span<const std::uint8_t> bytes16);
+
+  /// Parses dotted-quad IPv4 or RFC 4291 IPv6 text (including "::"
+  /// compression). Throws ParseError on malformed input.
+  [[nodiscard]] static IpAddress from_string(std::string_view text);
+
+  [[nodiscard]] AddressFamily family() const { return family_; }
+  [[nodiscard]] bool is_v4() const { return family_ == AddressFamily::kIpv4; }
+  [[nodiscard]] bool is_v6() const { return family_ == AddressFamily::kIpv6; }
+
+  /// Address width in bits: 32 or 128.
+  [[nodiscard]] int bit_width() const { return is_v4() ? 32 : 128; }
+
+  /// Network-order bytes; 4 for IPv4, 16 for IPv6.
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const;
+
+  /// IPv4 value in host order. Precondition: is_v4().
+  [[nodiscard]] std::uint32_t v4_value() const;
+
+  /// Returns bit `i` (0 = most significant bit of the first byte).
+  /// Precondition: i < bit_width().
+  [[nodiscard]] bool bit(int i) const;
+
+  /// Returns a copy with all bits at positions >= keep_bits cleared.
+  /// Used to canonicalize prefixes. Precondition: 0 <= keep_bits <= width.
+  [[nodiscard]] IpAddress masked(int keep_bits) const;
+
+  /// Canonical text form ("10.0.0.1", "2001:db8::1").
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const IpAddress& a, const IpAddress& b) = default;
+  friend bool operator==(const IpAddress& a, const IpAddress& b) = default;
+
+ private:
+  // Ordered members so that default <=> compares family first (v4 < v6),
+  // then lexicographic byte order.
+  AddressFamily family_ = AddressFamily::kIpv4;
+  std::array<std::uint8_t, 16> storage_{};
+};
+
+/// Hash functor so IpAddress can key unordered containers.
+struct IpAddressHash {
+  std::size_t operator()(const IpAddress& a) const noexcept;
+};
+
+}  // namespace bgpcc

@@ -1,0 +1,56 @@
+#include "netbase/prefix.h"
+
+#include <charconv>
+
+#include "netbase/error.h"
+
+namespace bgpcc {
+
+namespace {
+
+// Validates before masking: masked() has a precondition on the range.
+const IpAddress& check_length(const IpAddress& address, int length) {
+  if (length < 0 || length > address.bit_width()) {
+    throw ParseError("prefix length " + std::to_string(length) +
+                     " out of range for " + address.to_string());
+  }
+  return address;
+}
+
+}  // namespace
+
+Prefix::Prefix(const IpAddress& address, int length)
+    : address_(check_length(address, length).masked(length)),
+      length_(length) {}
+
+Prefix Prefix::from_string(std::string_view text) {
+  std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos) {
+    throw ParseError("prefix missing '/': " + std::string(text));
+  }
+  IpAddress addr = IpAddress::from_string(text.substr(0, slash));
+  std::string_view len_text = text.substr(slash + 1);
+  int length = -1;
+  auto [ptr, ec] = std::from_chars(len_text.data(),
+                                   len_text.data() + len_text.size(), length);
+  if (ec != std::errc() || ptr != len_text.data() + len_text.size()) {
+    throw ParseError("malformed prefix length: " + std::string(text));
+  }
+  return Prefix(addr, length);
+}
+
+bool Prefix::contains(const IpAddress& addr) const {
+  if (addr.family() != address_.family()) return false;
+  return addr.masked(length_) == address_;
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  if (other.family() != family() || other.length() < length_) return false;
+  return other.address().masked(length_) == address_;
+}
+
+std::string Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace bgpcc

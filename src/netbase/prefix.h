@@ -1,0 +1,61 @@
+// CIDR prefix value type: the unit of BGP reachability (NLRI).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "netbase/ip.h"
+
+namespace bgpcc {
+
+/// An IP prefix in CIDR notation (address + mask length).
+///
+/// Prefixes are stored canonically: host bits beyond the mask length are
+/// always zero, so equality and ordering behave as expected. The ordering is
+/// (family, address bytes, length), giving IPv4 < IPv6 and more-general
+/// before more-specific at equal addresses.
+class Prefix {
+ public:
+  /// Default: 0.0.0.0/0.
+  Prefix() = default;
+
+  /// Canonicalizes by masking host bits. Throws ParseError if `length`
+  /// exceeds the address width.
+  Prefix(const IpAddress& address, int length);
+
+  /// Parses "10.0.0.0/8" or "2001:db8::/32". Throws ParseError.
+  [[nodiscard]] static Prefix from_string(std::string_view text);
+
+  [[nodiscard]] const IpAddress& address() const { return address_; }
+  [[nodiscard]] int length() const { return length_; }
+  [[nodiscard]] AddressFamily family() const { return address_.family(); }
+  [[nodiscard]] bool is_v4() const { return address_.is_v4(); }
+
+  /// True if `addr` falls inside this prefix (same family, leading
+  /// `length()` bits equal).
+  [[nodiscard]] bool contains(const IpAddress& addr) const;
+
+  /// True if `other` is equal to or more specific than this prefix.
+  [[nodiscard]] bool contains(const Prefix& other) const;
+
+  /// "10.0.0.0/8" style rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Prefix& a, const Prefix& b) = default;
+  friend bool operator==(const Prefix& a, const Prefix& b) = default;
+
+ private:
+  IpAddress address_;
+  int length_ = 0;
+};
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& p) const noexcept {
+    return IpAddressHash{}(p.address()) * 131 +
+           static_cast<std::size_t>(p.length());
+  }
+};
+
+}  // namespace bgpcc

@@ -1,0 +1,19 @@
+#include "netbase/timeutil.h"
+
+#include <cstdio>
+
+namespace bgpcc {
+
+std::string Timestamp::time_of_day_string() const {
+  std::int64_t us = micros_of_day();
+  std::int64_t total_seconds = us / 1000000;
+  int hh = static_cast<int>(total_seconds / 3600);
+  int mm = static_cast<int>((total_seconds / 60) % 60);
+  int ss = static_cast<int>(total_seconds % 60);
+  int frac = static_cast<int>(us % 1000000);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%06d", hh, mm, ss, frac);
+  return buf;
+}
+
+}  // namespace bgpcc

@@ -1,0 +1,100 @@
+// Simulation time: microsecond-resolution timestamps with calendar helpers
+// for the beacon phase analysis (phases are defined on UTC wall-clock).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace bgpcc {
+
+/// A duration in microseconds. Explicit factory functions avoid unit bugs.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration micros(std::int64_t n) {
+    return Duration(n);
+  }
+  [[nodiscard]] static constexpr Duration millis(std::int64_t n) {
+    return Duration(n * 1000);
+  }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t n) {
+    return Duration(n * 1000000);
+  }
+  [[nodiscard]] static constexpr Duration minutes(std::int64_t n) {
+    return seconds(n * 60);
+  }
+  [[nodiscard]] static constexpr Duration hours(std::int64_t n) {
+    return seconds(n * 3600);
+  }
+  [[nodiscard]] static constexpr Duration days(std::int64_t n) {
+    return hours(n * 24);
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double count_seconds() const {
+    return static_cast<double>(us_) / 1e6;
+  }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.us_ + b.us_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.us_ - b.us_);
+  }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) {
+    return Duration(a.us_ * k);
+  }
+  friend constexpr auto operator<=>(Duration a, Duration b) = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// A point in time: microseconds since the UNIX epoch (UTC).
+///
+/// The simulator advances Timestamps; the analysis code maps them onto
+/// wall-clock phases (seconds-of-day). No leap-second handling — the paper's
+/// beacon schedule is defined in plain UTC seconds.
+class Timestamp {
+ public:
+  constexpr Timestamp() = default;
+
+  [[nodiscard]] static constexpr Timestamp from_unix_micros(std::int64_t us) {
+    return Timestamp(us);
+  }
+  [[nodiscard]] static constexpr Timestamp from_unix_seconds(std::int64_t s) {
+    return Timestamp(s * 1000000);
+  }
+
+  [[nodiscard]] constexpr std::int64_t unix_micros() const { return us_; }
+  [[nodiscard]] constexpr std::int64_t unix_seconds() const {
+    return us_ / 1000000;
+  }
+
+  /// Microseconds elapsed since the most recent UTC midnight.
+  [[nodiscard]] constexpr std::int64_t micros_of_day() const {
+    constexpr std::int64_t kDay = 86400ll * 1000000;
+    std::int64_t m = us_ % kDay;
+    return m < 0 ? m + kDay : m;
+  }
+
+  /// "HH:MM:SS.ffffff" rendering of the time-of-day component.
+  [[nodiscard]] std::string time_of_day_string() const;
+
+  friend constexpr Timestamp operator+(Timestamp t, Duration d) {
+    return Timestamp(t.us_ + d.count_micros());
+  }
+  friend constexpr Duration operator-(Timestamp a, Timestamp b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+  friend constexpr auto operator<=>(Timestamp a, Timestamp b) = default;
+
+ private:
+  constexpr explicit Timestamp(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace bgpcc

@@ -1,0 +1,105 @@
+#include "policy/policy.h"
+
+namespace bgpcc {
+
+bool RouteMatch::matches(const Prefix& prefix,
+                         const PathAttributes& attrs) const {
+  if (!prefixes.empty()) {
+    bool hit = false;
+    for (const Prefix& candidate : prefixes) {
+      if (candidate.contains(prefix)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  if (!any_community.empty()) {
+    bool hit = false;
+    for (Community c : any_community) {
+      if (attrs.communities.contains(c)) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  if (path_contains && !attrs.as_path.contains(*path_contains)) return false;
+  return true;
+}
+
+Policy Policy::tag_all(Community community) {
+  Policy p;
+  PolicyRule rule;
+  rule.name = "tag-all:" + community.to_string();
+  rule.actions.add_communities = {community};
+  p.add_rule(std::move(rule));
+  return p;
+}
+
+Policy Policy::clean_all() {
+  Policy p;
+  PolicyRule rule;
+  rule.name = "clean-all";
+  rule.actions.remove_all_communities = true;
+  rule.actions.remove_all_large_communities = true;
+  p.add_rule(std::move(rule));
+  return p;
+}
+
+Policy Policy::clean_asn(std::uint16_t asn16) {
+  Policy p;
+  PolicyRule rule;
+  rule.name = "clean-asn:" + std::to_string(asn16);
+  rule.actions.remove_communities_of_asn = asn16;
+  p.add_rule(std::move(rule));
+  return p;
+}
+
+Policy Policy::deny_all() {
+  Policy p;
+  PolicyRule rule;
+  rule.name = "deny-all";
+  rule.actions.deny = true;
+  p.add_rule(std::move(rule));
+  return p;
+}
+
+Policy Policy::prepend_all(int count) {
+  Policy p;
+  PolicyRule rule;
+  rule.name = "prepend:" + std::to_string(count);
+  rule.actions.prepend_count = count;
+  p.add_rule(std::move(rule));
+  return p;
+}
+
+bool Policy::apply(const Prefix& prefix, PathAttributes& attrs,
+                   Asn prepend_asn) const {
+  for (const PolicyRule& rule : rules_) {
+    if (!rule.match.matches(prefix, attrs)) continue;
+    const RouteActions& a = rule.actions;
+    if (a.deny) return false;
+    if (a.remove_all_communities) {
+      attrs.communities.clear();
+    } else {
+      if (a.remove_communities_of_asn) {
+        attrs.communities.remove_asn(*a.remove_communities_of_asn);
+      }
+      for (Community c : a.remove_communities) attrs.communities.remove(c);
+    }
+    for (Community c : a.add_communities) attrs.communities.add(c);
+    if (a.remove_all_large_communities) attrs.large_communities.clear();
+    for (const LargeCommunity& c : a.add_large_communities) {
+      attrs.large_communities.add(c);
+    }
+    if (a.set_local_pref) attrs.local_pref = *a.set_local_pref;
+    if (a.clear_med) attrs.med.reset();
+    if (a.set_med) attrs.med = *a.set_med;
+    if (a.prepend_count > 0) attrs.as_path.prepend(prepend_asn, a.prepend_count);
+    return true;  // first matching rule wins
+  }
+  return true;
+}
+
+}  // namespace bgpcc

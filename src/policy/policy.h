@@ -1,0 +1,95 @@
+// Route policies: ordered match/action rules applied at session ingress or
+// egress. Community tagging and cleaning — the operations whose placement
+// (ingress vs egress) the paper's Exp2-Exp4 distinguish — are first-class
+// actions here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "netbase/prefix.h"
+
+namespace bgpcc {
+
+/// Conditions a rule can test. All present conditions must hold (AND).
+struct RouteMatch {
+  /// Prefix must be equal to, or more specific than, one of these.
+  std::vector<Prefix> prefixes;
+  /// Attribute block must contain at least one of these communities.
+  std::vector<Community> any_community;
+  /// AS path must contain this AS.
+  std::optional<Asn> path_contains;
+
+  [[nodiscard]] bool matches(const Prefix& prefix,
+                             const PathAttributes& attrs) const;
+};
+
+/// Side effects a rule can apply to the attribute block.
+struct RouteActions {
+  /// Reject the route entirely (ingress: not installed; egress: not sent).
+  bool deny = false;
+
+  std::vector<Community> add_communities;
+  std::vector<Community> remove_communities;
+  /// Strip every community ("community cleaning").
+  bool remove_all_communities = false;
+  /// Strip communities whose high 16 bits equal this ASN
+  /// ("clean my own namespace").
+  std::optional<std::uint16_t> remove_communities_of_asn;
+  std::vector<LargeCommunity> add_large_communities;
+  bool remove_all_large_communities = false;
+
+  std::optional<std::uint32_t> set_local_pref;
+  std::optional<std::uint32_t> set_med;
+  bool clear_med = false;
+  /// Prepend own ASN this many *extra* times on egress (traffic
+  /// engineering). Applied by the router using its own ASN.
+  int prepend_count = 0;
+};
+
+struct PolicyRule {
+  std::string name;  // for traces; optional
+  RouteMatch match;
+  RouteActions actions;
+};
+
+/// An ordered rule chain. First matching rule wins (its actions are
+/// applied); routes matching no rule pass through unchanged.
+class Policy {
+ public:
+  Policy() = default;
+
+  Policy& add_rule(PolicyRule rule) {
+    rules_.push_back(std::move(rule));
+    return *this;
+  }
+
+  /// Convenience factories for the configurations the paper studies.
+  /// Tag every route with `community` (geo/ingress tagging).
+  [[nodiscard]] static Policy tag_all(Community community);
+  /// Strip all communities (cleaning), regardless of match.
+  [[nodiscard]] static Policy clean_all();
+  /// Strip only communities in the given AS's namespace.
+  [[nodiscard]] static Policy clean_asn(std::uint16_t asn16);
+  /// Reject everything (e.g. a collector that must not advertise).
+  [[nodiscard]] static Policy deny_all();
+  /// Prepend own ASN `count` extra times on every advertisement.
+  [[nodiscard]] static Policy prepend_all(int count);
+
+  /// Applies the first matching rule to `attrs`. Returns false if the
+  /// route is denied. `prepend_asn` is the router's own ASN, used by
+  /// prepend actions; pass the local ASN on egress.
+  [[nodiscard]] bool apply(const Prefix& prefix, PathAttributes& attrs,
+                           Asn prepend_asn) const;
+
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  [[nodiscard]] const std::vector<PolicyRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<PolicyRule> rules_;
+};
+
+}  // namespace bgpcc

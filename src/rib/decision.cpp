@@ -1,0 +1,76 @@
+#include "rib/decision.h"
+
+namespace bgpcc {
+namespace {
+
+std::uint32_t effective_local_pref(const Route& r,
+                                   const DecisionConfig& config) {
+  return r.attrs.local_pref.value_or(config.default_local_pref);
+}
+
+std::uint32_t effective_med(const Route& r, const DecisionConfig& config) {
+  if (r.attrs.med) return *r.attrs.med;
+  return config.med_missing_as_worst ? 0xffffffffu : 0u;
+}
+
+}  // namespace
+
+bool better_route(const Route& a, const Route& b,
+                  const DecisionConfig& config) {
+  // (b) Highest LOCAL_PREF.
+  std::uint32_t lp_a = effective_local_pref(a, config);
+  std::uint32_t lp_b = effective_local_pref(b, config);
+  if (lp_a != lp_b) return lp_a > lp_b;
+
+  // (c) Shortest AS path (AS_SET counts one; prepending counts fully).
+  int len_a = a.attrs.as_path.length();
+  int len_b = b.attrs.as_path.length();
+  if (len_a != len_b) return len_a < len_b;
+
+  // (d) Lowest ORIGIN (IGP < EGP < INCOMPLETE).
+  if (a.attrs.origin != b.attrs.origin) return a.attrs.origin < b.attrs.origin;
+
+  // (e') Lowest MED, only among routes from the same neighbor AS unless
+  // always-compare-med is set.
+  bool compare_med = config.always_compare_med;
+  if (!compare_med) {
+    auto first_a = a.attrs.as_path.first_as();
+    auto first_b = b.attrs.as_path.first_as();
+    compare_med = first_a.has_value() && first_a == first_b;
+  }
+  if (compare_med) {
+    std::uint32_t med_a = effective_med(a, config);
+    std::uint32_t med_b = effective_med(b, config);
+    if (med_a != med_b) return med_a < med_b;
+  }
+
+  // (e) eBGP-learned preferred over iBGP-learned.
+  if (a.source.ebgp != b.source.ebgp) return a.source.ebgp;
+
+  // (f) Lowest IGP metric to the NEXT_HOP.
+  if (a.source.igp_metric != b.source.igp_metric) {
+    return a.source.igp_metric < b.source.igp_metric;
+  }
+
+  // (g) Lowest BGP identifier (router id) of the advertising speaker.
+  if (a.source.peer_router_id != b.source.peer_router_id) {
+    return a.source.peer_router_id < b.source.peer_router_id;
+  }
+
+  // Final: lowest peer address, then neighbor id (total order).
+  if (a.source.peer_address != b.source.peer_address) {
+    return a.source.peer_address < b.source.peer_address;
+  }
+  return a.source.neighbor_id < b.source.neighbor_id;
+}
+
+const Route* select_best(std::span<const Route> candidates,
+                         const DecisionConfig& config) {
+  const Route* best = nullptr;
+  for (const Route& r : candidates) {
+    if (best == nullptr || better_route(r, *best, config)) best = &r;
+  }
+  return best;
+}
+
+}  // namespace bgpcc

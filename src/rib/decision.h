@@ -1,0 +1,41 @@
+// RFC 4271 §9.1.2.2 best-path selection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rib/route.h"
+
+namespace bgpcc {
+
+/// Knobs for the decision process. Defaults follow common vendor practice.
+struct DecisionConfig {
+  /// LOCAL_PREF assumed when the attribute is absent (eBGP-learned routes).
+  std::uint32_t default_local_pref = 100;
+  /// If true, a missing MED compares as the worst value (RFC suggestion);
+  /// if false, as 0/best (Cisco default).
+  bool med_missing_as_worst = false;
+  /// If true, compare MED across different neighbor ASes too
+  /// ("always-compare-med"); default only within the same neighbor AS.
+  bool always_compare_med = false;
+};
+
+/// Returns true if `a` is strictly preferred to `b`. Both routes must be
+/// for the same prefix (not checked).
+///
+/// Caveat faithfully inherited from BGP itself: with the default
+/// same-neighbor-AS MED rule this relation is NOT transitive (the
+/// well-known MED ordering anomaly), so selection among >2 routes is
+/// order-dependent exactly as it is on real routers. select_best() scans
+/// deterministically; with `always_compare_med` the order is a strict
+/// weak ordering.
+[[nodiscard]] bool better_route(const Route& a, const Route& b,
+                                const DecisionConfig& config = {});
+
+/// Selects the best route, or nullptr if `candidates` is empty.
+/// Deterministic: ties are impossible because the final tie-breakers
+/// (router id, peer address, neighbor id) form a total order per session.
+[[nodiscard]] const Route* select_best(std::span<const Route> candidates,
+                                       const DecisionConfig& config = {});
+
+}  // namespace bgpcc

@@ -1,0 +1,46 @@
+#include "rib/rib.h"
+
+namespace bgpcc {
+
+RibChange AdjRibIn::update(const Route& route) {
+  if (Route* existing = table_.find(route.prefix)) {
+    // Identity of the *attributes* decides duplicate-ness; learned_at and
+    // source bookkeeping are refreshed either way.
+    bool same = existing->attrs == route.attrs;
+    *existing = route;
+    return same ? RibChange::kUnchanged : RibChange::kChanged;
+  }
+  table_.insert(route.prefix, route);
+  return RibChange::kNew;
+}
+
+bool AdjRibIn::withdraw(const Prefix& prefix) { return table_.erase(prefix); }
+
+RibChange LocRib::set_best(const Prefix& prefix, const Route& route) {
+  if (Route* existing = table_.find(prefix)) {
+    bool same_attrs = existing->attrs == route.attrs;
+    bool same_source = existing->source == route.source;
+    *existing = route;
+    if (same_attrs && same_source) return RibChange::kUnchanged;
+    return RibChange::kChanged;
+  }
+  table_.insert(prefix, route);
+  return RibChange::kNew;
+}
+
+bool LocRib::remove(const Prefix& prefix) { return table_.erase(prefix); }
+
+RibChange AdjRibOut::advertise(const Prefix& prefix,
+                               const PathAttributes& attrs) {
+  if (PathAttributes* existing = table_.find(prefix)) {
+    bool same = *existing == attrs;
+    *existing = attrs;
+    return same ? RibChange::kUnchanged : RibChange::kChanged;
+  }
+  table_.insert(prefix, attrs);
+  return RibChange::kNew;
+}
+
+bool AdjRibOut::withdraw(const Prefix& prefix) { return table_.erase(prefix); }
+
+}  // namespace bgpcc

@@ -1,0 +1,86 @@
+// The three RIB stages of a BGP speaker (RFC 4271 §3.2):
+//   Adj-RIB-In  — routes learned from one neighbor, post import policy
+//   Loc-RIB     — the selected best route per prefix
+//   Adj-RIB-Out — what was last advertised to one neighbor, post export
+//                 policy (the state Junos-like speakers compare against to
+//                 suppress duplicate advertisements).
+#pragma once
+
+#include <optional>
+
+#include "rib/route.h"
+#include "rib/trie.h"
+
+namespace bgpcc {
+
+/// Result of writing an entry into a RIB stage.
+enum class RibChange {
+  kNew,        // prefix was not present
+  kChanged,    // present with different attributes
+  kUnchanged,  // present and identical — the "duplicate" case
+};
+
+/// Routes learned from a single neighbor (after import policy).
+class AdjRibIn {
+ public:
+  /// Stores/overwrites the route; reports whether anything changed.
+  RibChange update(const Route& route);
+  /// Removes the prefix; true if a route was present.
+  bool withdraw(const Prefix& prefix);
+
+  [[nodiscard]] const Route* find(const Prefix& prefix) const {
+    return table_.find(prefix);
+  }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] std::vector<Prefix> prefixes() const { return table_.keys(); }
+  void clear() { table_.clear(); }
+
+ private:
+  PrefixTrie<Route> table_;
+};
+
+/// The router's selected best routes.
+class LocRib {
+ public:
+  RibChange set_best(const Prefix& prefix, const Route& route);
+  bool remove(const Prefix& prefix);
+
+  [[nodiscard]] const Route* find(const Prefix& prefix) const {
+    return table_.find(prefix);
+  }
+  [[nodiscard]] std::optional<std::pair<Prefix, const Route*>> lookup(
+      const IpAddress& addr) const {
+    return table_.lookup(addr);
+  }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] std::vector<Prefix> prefixes() const { return table_.keys(); }
+  void for_each(
+      const std::function<void(const Prefix&, const Route&)>& fn) const {
+    table_.for_each(fn);
+  }
+
+ private:
+  PrefixTrie<Route> table_;
+};
+
+/// What was last sent to a single neighbor (after export policy).
+class AdjRibOut {
+ public:
+  /// Records an advertisement; kUnchanged means an identical update would
+  /// be a duplicate on the wire.
+  RibChange advertise(const Prefix& prefix, const PathAttributes& attrs);
+  /// Records a withdrawal; true if the prefix had been advertised.
+  bool withdraw(const Prefix& prefix);
+
+  [[nodiscard]] const PathAttributes* find(const Prefix& prefix) const {
+    return table_.find(prefix);
+  }
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] std::vector<Prefix> prefixes() const { return table_.keys(); }
+  void clear() { table_.clear(); }
+
+ private:
+  PrefixTrie<PathAttributes> table_;
+};
+
+}  // namespace bgpcc

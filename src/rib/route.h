@@ -1,0 +1,40 @@
+// A route: prefix + attributes + where it was learned. The unit the
+// decision process ranks and the RIBs store.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "bgp/attributes.h"
+#include "netbase/prefix.h"
+#include "netbase/timeutil.h"
+
+namespace bgpcc {
+
+/// Identifies the BGP session a route was learned over, with the fields the
+/// decision process needs for its lower tie-break steps.
+struct RouteSource {
+  /// Router-local neighbor/session handle (stable for the session's life).
+  std::uint32_t neighbor_id = 0;
+  Asn peer_asn;
+  IpAddress peer_address;
+  std::uint32_t peer_router_id = 0;
+  /// True if learned over eBGP (preferred over iBGP at step e).
+  bool ebgp = true;
+  /// IGP distance to the route's NEXT_HOP (step f). The simulator
+  /// approximates the IGP with per-session static metrics.
+  std::uint32_t igp_metric = 0;
+
+  friend auto operator<=>(const RouteSource&, const RouteSource&) = default;
+};
+
+struct Route {
+  Prefix prefix;
+  PathAttributes attrs;
+  RouteSource source;
+  Timestamp learned_at;
+
+  friend auto operator<=>(const Route&, const Route&) = default;
+};
+
+}  // namespace bgpcc

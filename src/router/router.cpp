@@ -1,0 +1,342 @@
+#include "router/router.h"
+
+#include <utility>
+
+#include "netbase/error.h"
+
+namespace bgpcc {
+
+Router::Router(std::string name, Asn asn, std::uint32_t router_id,
+               IpAddress address, VendorProfile vendor)
+    : name_(std::move(name)),
+      asn_(asn),
+      router_id_(router_id),
+      address_(address),
+      vendor_(std::move(vendor)) {}
+
+void Router::add_neighbor(NeighborConfig config) {
+  auto [it, inserted] =
+      neighbors_.try_emplace(config.neighbor_id, NeighborState{});
+  if (!inserted) {
+    throw ConfigError("duplicate neighbor id " +
+                      std::to_string(config.neighbor_id) + " on " + name_);
+  }
+  it->second.config = std::move(config);
+}
+
+bool Router::has_neighbor(std::uint32_t neighbor_id) const {
+  return neighbors_.contains(neighbor_id);
+}
+
+const Router::NeighborConfig& Router::neighbor_config(
+    std::uint32_t neighbor_id) const {
+  return neighbor(neighbor_id).config;
+}
+
+void Router::set_neighbor_policies(std::uint32_t neighbor_id,
+                                   Policy import_policy,
+                                   Policy export_policy) {
+  NeighborState& nb = neighbor(neighbor_id);
+  nb.config.import_policy = std::move(import_policy);
+  nb.config.export_policy = std::move(export_policy);
+}
+
+Router::NeighborState& Router::neighbor(std::uint32_t neighbor_id) {
+  auto it = neighbors_.find(neighbor_id);
+  if (it == neighbors_.end()) {
+    throw ConfigError("unknown neighbor id " + std::to_string(neighbor_id) +
+                      " on " + name_);
+  }
+  return it->second;
+}
+
+const Router::NeighborState& Router::neighbor(
+    std::uint32_t neighbor_id) const {
+  return const_cast<Router*>(this)->neighbor(neighbor_id);
+}
+
+const AdjRibOut& Router::adj_rib_out(std::uint32_t neighbor_id) const {
+  return neighbor(neighbor_id).rib_out;
+}
+
+const AdjRibIn& Router::adj_rib_in(std::uint32_t neighbor_id) const {
+  return neighbor(neighbor_id).rib_in;
+}
+
+bool Router::session_established(std::uint32_t neighbor_id) const {
+  return neighbor(neighbor_id).established;
+}
+
+void Router::handle_update(std::uint32_t neighbor_id,
+                           const UpdateMessage& update, Timestamp now) {
+  NeighborState& nb = neighbor(neighbor_id);
+  if (!nb.established) return;  // stale in-flight message after session drop
+  ++stats_.updates_received;
+
+  std::vector<Prefix> to_process;
+  for (const Prefix& prefix : update.withdrawn) {
+    ++stats_.withdrawals_received;
+    if (nb.rib_in.withdraw(prefix)) to_process.push_back(prefix);
+  }
+
+  if (!update.announced.empty() && update.attrs) {
+    for (const Prefix& prefix : update.announced) {
+      ++stats_.announcements_received;
+      PathAttributes attrs = *update.attrs;
+
+      // eBGP loop prevention: our own ASN in the path means a routing loop;
+      // the route is unusable (and any previous one is implicitly gone).
+      if (nb.config.ebgp && attrs.as_path.contains(asn_)) {
+        ++stats_.loop_rejected;
+        if (nb.rib_in.withdraw(prefix)) to_process.push_back(prefix);
+        continue;
+      }
+      if (!nb.config.import_policy.apply(prefix, attrs, asn_)) {
+        ++stats_.denied_by_import;
+        if (nb.rib_in.withdraw(prefix)) to_process.push_back(prefix);
+        continue;
+      }
+
+      Route route;
+      route.prefix = prefix;
+      route.attrs = std::move(attrs);
+      route.source = RouteSource{
+          .neighbor_id = neighbor_id,
+          .peer_asn = nb.config.peer_asn,
+          .peer_address = nb.config.peer_address,
+          .peer_router_id = nb.config.peer_router_id,
+          .ebgp = nb.config.ebgp,
+          .igp_metric = nb.config.igp_metric,
+      };
+      route.learned_at = now;
+
+      RibChange change = nb.rib_in.update(route);
+      if (change == RibChange::kUnchanged) {
+        // Post-import identical to what we already hold: nothing to do.
+        // (This is why ingress cleaning — Exp4 — stops propagation cold.)
+        ++stats_.duplicate_updates_received;
+        continue;
+      }
+      to_process.push_back(prefix);
+    }
+  }
+
+  for (const Prefix& prefix : to_process) process(prefix, now);
+}
+
+void Router::process(const Prefix& prefix, Timestamp now) {
+  // Locally originated routes take absolute precedence (vendor "weight").
+  const Route* best = nullptr;
+  Route local;
+  if (const PathAttributes* origin_attrs = originated_.find(prefix)) {
+    local.prefix = prefix;
+    local.attrs = *origin_attrs;
+    local.source = RouteSource{.neighbor_id = 0,
+                               .peer_asn = asn_,
+                               .peer_address = address_,
+                               .peer_router_id = router_id_,
+                               .ebgp = false,
+                               .igp_metric = 0};
+    local.learned_at = now;
+    best = &local;
+  } else {
+    for (auto& [id, nb] : neighbors_) {
+      if (!nb.established) continue;
+      if (const Route* candidate = nb.rib_in.find(prefix)) {
+        if (best == nullptr || better_route(*candidate, *best,
+                                            decision_config_)) {
+          best = candidate;
+        }
+      }
+    }
+  }
+
+  if (best == nullptr) {
+    if (loc_rib_.remove(prefix)) {
+      for (auto& [id, nb] : neighbors_) {
+        send_withdraw_if_advertised(nb, prefix, now);
+      }
+    }
+    return;
+  }
+
+  const Route* previous = loc_rib_.find(prefix);
+  bool internal_only_change = false;
+  if (previous != nullptr) {
+    // "Internal" change: identical transitive content, only the next hop
+    // and/or learning source moved (Exp1's next-hop switch).
+    PathAttributes a = previous->attrs;
+    PathAttributes b = best->attrs;
+    a.next_hop = b.next_hop = IpAddress{};
+    internal_only_change = (a == b) && (previous->attrs != best->attrs ||
+                                        previous->source != best->source);
+  }
+
+  RibChange change = loc_rib_.set_best(prefix, *best);
+  if (change == RibChange::kUnchanged) return;
+
+  if (internal_only_change && !vendor_.advertise_on_internal_change) {
+    return;  // "ideal" vendor profile: no propagation attempt at all
+  }
+
+  const Route& installed = *loc_rib_.find(prefix);
+  for (auto& [id, nb] : neighbors_) {
+    advertise_to(nb, prefix, installed, now);
+  }
+}
+
+void Router::advertise_to(NeighborState& nb, const Prefix& prefix,
+                          const Route& route, Timestamp now) {
+  if (!nb.established) return;
+
+  bool learned_from_neighbor = route.source.neighbor_id != 0;
+  // Split horizon: never send a route back over the session it came from.
+  bool back_to_source =
+      learned_from_neighbor && route.source.neighbor_id == nb.config.neighbor_id;
+  // Full-mesh iBGP: iBGP-learned routes are not reflected to iBGP peers.
+  bool ibgp_reflection =
+      learned_from_neighbor && !route.source.ebgp && !nb.config.ebgp;
+  // Well-known community semantics (RFC 1997). They bind the *receiving*
+  // AS: a locally originated route tagged NO_EXPORT is still sent to the
+  // neighbor (who then must not export it further).
+  bool no_advertise =
+      learned_from_neighbor &&
+      route.attrs.communities.contains(Community::no_advertise());
+  bool no_export =
+      learned_from_neighbor && nb.config.ebgp &&
+      route.attrs.communities.contains(Community::no_export());
+
+  if (back_to_source || ibgp_reflection || no_advertise || no_export) {
+    send_withdraw_if_advertised(nb, prefix, now);
+    return;
+  }
+
+  PathAttributes attrs = route.attrs;
+  if (nb.config.ebgp) {
+    attrs.as_path.prepend(asn_);
+    attrs.next_hop = nb.config.local_address;
+    attrs.local_pref.reset();  // LOCAL_PREF is intra-AS only
+    if (learned_from_neighbor) {
+      attrs.med.reset();  // MED is not propagated to third-party ASes
+    }
+    attrs.strip_non_transitive_unknown();
+  } else {
+    if (nb.config.next_hop_self) attrs.next_hop = nb.config.local_address;
+    if (!attrs.local_pref) {
+      attrs.local_pref = decision_config_.default_local_pref;
+    }
+  }
+
+  if (!nb.config.export_policy.apply(prefix, attrs, asn_)) {
+    send_withdraw_if_advertised(nb, prefix, now);
+    return;
+  }
+
+  RibChange change = nb.rib_out.advertise(prefix, attrs);
+  if (change == RibChange::kUnchanged) {
+    if (vendor_.suppress_duplicate_advertisements) {
+      ++stats_.duplicates_suppressed;
+      return;
+    }
+    ++stats_.duplicates_sent;
+  }
+  send(nb, prefix, std::move(attrs), now);
+}
+
+void Router::send_withdraw_if_advertised(NeighborState& nb,
+                                         const Prefix& prefix, Timestamp now) {
+  if (!nb.established) return;
+  if (!nb.rib_out.withdraw(prefix)) return;
+  send(nb, prefix, std::nullopt, now);
+}
+
+void Router::send(NeighborState& nb, const Prefix& prefix,
+                  std::optional<PathAttributes> attrs, Timestamp now) {
+  Duration mrai = nb.config.mrai;
+  if (mrai > Duration{} && nb.last_send && now - *nb.last_send < mrai) {
+    nb.pending[prefix] = std::move(attrs);
+    if (!nb.flush_scheduled && timer_) {
+      nb.flush_scheduled = true;
+      Duration wait = mrai - (now - *nb.last_send);
+      std::uint32_t id = nb.config.neighbor_id;
+      timer_(wait, [this, id, when = now + wait] { flush_pending(id, when); });
+    }
+    return;
+  }
+
+  UpdateMessage message;
+  if (attrs) {
+    message.announced.push_back(prefix);
+    message.attrs = std::move(attrs);
+    ++stats_.announcements_sent;
+  } else {
+    message.withdrawn.push_back(prefix);
+    ++stats_.withdrawals_sent;
+  }
+  ++stats_.updates_sent;
+  nb.last_send = now;
+  if (emit_) emit_(nb.config.neighbor_id, message);
+}
+
+void Router::flush_pending(std::uint32_t neighbor_id, Timestamp now) {
+  NeighborState& nb = neighbor(neighbor_id);
+  nb.flush_scheduled = false;
+  if (!nb.established) {
+    nb.pending.clear();
+    return;
+  }
+  auto pending = std::exchange(nb.pending, {});
+  // Reset the window before re-sending so the batch itself is not queued
+  // again; subsequent sends inside the window re-arm the timer.
+  nb.last_send.reset();
+  for (auto& [prefix, attrs] : pending) {
+    send(nb, prefix, std::move(attrs), now);
+  }
+  nb.last_send = now;
+}
+
+void Router::session_up(std::uint32_t neighbor_id, Timestamp now) {
+  NeighborState& nb = neighbor(neighbor_id);
+  if (nb.established) return;
+  nb.established = true;
+  nb.rib_in.clear();
+  nb.rib_out.clear();
+  nb.pending.clear();
+  nb.last_send.reset();
+  // Initial table transfer: advertise the full Loc-RIB.
+  std::vector<std::pair<Prefix, Route>> routes;
+  loc_rib_.for_each([&](const Prefix& prefix, const Route& route) {
+    routes.emplace_back(prefix, route);
+  });
+  for (auto& [prefix, route] : routes) {
+    advertise_to(nb, prefix, route, now);
+  }
+}
+
+void Router::session_down(std::uint32_t neighbor_id, Timestamp now) {
+  NeighborState& nb = neighbor(neighbor_id);
+  if (!nb.established) return;
+  nb.established = false;
+  std::vector<Prefix> lost = nb.rib_in.prefixes();
+  nb.rib_in.clear();
+  nb.rib_out.clear();
+  nb.pending.clear();
+  for (const Prefix& prefix : lost) process(prefix, now);
+}
+
+void Router::originate(const Prefix& prefix, Timestamp now,
+                       PathAttributes base) {
+  if (!base.as_path.empty()) {
+    throw ConfigError("originated route must have an empty AS path");
+  }
+  base.next_hop = address_;
+  originated_.insert(prefix, std::move(base));
+  process(prefix, now);
+}
+
+void Router::withdraw_origin(const Prefix& prefix, Timestamp now) {
+  if (!originated_.erase(prefix)) return;
+  process(prefix, now);
+}
+
+}  // namespace bgpcc

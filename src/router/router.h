@@ -1,0 +1,155 @@
+// A BGP speaker: neighbor sessions, the three RIB stages, the decision
+// process, and vendor-profiled update generation. This is the lab router
+// from the paper's Figure 1, as a deterministic state machine driven by
+// the event simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bgp/message.h"
+#include "netbase/timeutil.h"
+#include "policy/policy.h"
+#include "rib/decision.h"
+#include "rib/rib.h"
+#include "router/vendor.h"
+
+namespace bgpcc {
+
+/// Message counters; the lab experiments and ablations read these.
+struct RouterStats {
+  std::uint64_t updates_received = 0;
+  std::uint64_t announcements_received = 0;
+  std::uint64_t withdrawals_received = 0;
+  /// Received announcements identical (post-import) to RIB state.
+  std::uint64_t duplicate_updates_received = 0;
+  std::uint64_t updates_sent = 0;
+  std::uint64_t announcements_sent = 0;
+  std::uint64_t withdrawals_sent = 0;
+  /// Advertisements with unchanged Adj-RIB-Out state that were sent anyway
+  /// (Cisco/BIRD behavior — the "duplicates" of the paper).
+  std::uint64_t duplicates_sent = 0;
+  /// Advertisements suppressed by the Junos-style Adj-RIB-Out comparison.
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t loop_rejected = 0;
+  std::uint64_t denied_by_import = 0;
+};
+
+class Router {
+ public:
+  /// Static per-neighbor session configuration.
+  struct NeighborConfig {
+    std::uint32_t neighbor_id = 0;  // assigned by the network layer
+    Asn peer_asn;
+    IpAddress peer_address;
+    IpAddress local_address;
+    std::uint32_t peer_router_id = 0;
+    bool ebgp = true;
+    /// Approximated IGP distance to this neighbor's next hops.
+    std::uint32_t igp_metric = 10;
+    Policy import_policy;
+    Policy export_policy;
+    /// Rewrite NEXT_HOP to the local address when advertising over iBGP
+    /// (always rewritten over eBGP).
+    bool next_hop_self = true;
+    /// Minimum advertisement interval; zero disables (lab default).
+    Duration mrai{};
+  };
+
+  /// Callback used to transmit a message to a neighbor.
+  using EmitFn =
+      std::function<void(std::uint32_t neighbor_id, const UpdateMessage&)>;
+  /// Callback used to arm a timer (MRAI flushes).
+  using TimerFn = std::function<void(Duration, std::function<void()>)>;
+
+  Router(std::string name, Asn asn, std::uint32_t router_id,
+         IpAddress address, VendorProfile vendor);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Asn asn() const { return asn_; }
+  [[nodiscard]] std::uint32_t router_id() const { return router_id_; }
+  [[nodiscard]] const IpAddress& address() const { return address_; }
+  [[nodiscard]] const VendorProfile& vendor() const { return vendor_; }
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  void set_emit(EmitFn fn) { emit_ = std::move(fn); }
+  void set_timer(TimerFn fn) { timer_ = std::move(fn); }
+  void set_decision_config(const DecisionConfig& config) {
+    decision_config_ = config;
+  }
+
+  /// Registers a neighbor (session initially down; bring up with
+  /// session_up). Throws ConfigError on duplicate neighbor_id.
+  void add_neighbor(NeighborConfig config);
+  [[nodiscard]] bool has_neighbor(std::uint32_t neighbor_id) const;
+  [[nodiscard]] const NeighborConfig& neighbor_config(
+      std::uint32_t neighbor_id) const;
+  /// Replaces both policies of a neighbor (test/experiment reconfiguration;
+  /// takes effect for subsequently processed routes).
+  void set_neighbor_policies(std::uint32_t neighbor_id, Policy import_policy,
+                             Policy export_policy);
+
+  // --- events, driven by the simulator ---
+
+  void handle_update(std::uint32_t neighbor_id, const UpdateMessage& update,
+                     Timestamp now);
+  void session_up(std::uint32_t neighbor_id, Timestamp now);
+  void session_down(std::uint32_t neighbor_id, Timestamp now);
+  [[nodiscard]] bool session_established(std::uint32_t neighbor_id) const;
+
+  // --- origination ---
+
+  /// Injects a locally originated route. `base` supplies communities/MED
+  /// etc.; its as_path must be empty and next_hop is forced to the router
+  /// address. Locally originated routes always win the decision process.
+  void originate(const Prefix& prefix, Timestamp now,
+                 PathAttributes base = {});
+  void withdraw_origin(const Prefix& prefix, Timestamp now);
+
+  [[nodiscard]] const LocRib& loc_rib() const { return loc_rib_; }
+  /// Post-export state toward one neighbor (what that peer last heard).
+  [[nodiscard]] const AdjRibOut& adj_rib_out(std::uint32_t neighbor_id) const;
+  [[nodiscard]] const AdjRibIn& adj_rib_in(std::uint32_t neighbor_id) const;
+
+ private:
+  struct NeighborState {
+    NeighborConfig config;
+    AdjRibIn rib_in;
+    AdjRibOut rib_out;
+    bool established = false;
+    // MRAI machinery: pending per-prefix actions and timer state.
+    std::map<Prefix, std::optional<PathAttributes>> pending;  // nullopt=withdraw
+    std::optional<Timestamp> last_send;  // nullopt: nothing sent yet
+    bool flush_scheduled = false;
+  };
+
+  void process(const Prefix& prefix, Timestamp now);
+  void advertise_to(NeighborState& neighbor, const Prefix& prefix,
+                    const Route& route, Timestamp now);
+  void send_withdraw_if_advertised(NeighborState& neighbor,
+                                   const Prefix& prefix, Timestamp now);
+  void send(NeighborState& neighbor, const Prefix& prefix,
+            std::optional<PathAttributes> attrs, Timestamp now);
+  void flush_pending(std::uint32_t neighbor_id, Timestamp now);
+  NeighborState& neighbor(std::uint32_t neighbor_id);
+  const NeighborState& neighbor(std::uint32_t neighbor_id) const;
+
+  std::string name_;
+  Asn asn_;
+  std::uint32_t router_id_;
+  IpAddress address_;
+  VendorProfile vendor_;
+  DecisionConfig decision_config_;
+  EmitFn emit_;
+  TimerFn timer_;
+  std::map<std::uint32_t, NeighborState> neighbors_;
+  PrefixTrie<PathAttributes> originated_;
+  LocRib loc_rib_;
+  RouterStats stats_;
+};
+
+}  // namespace bgpcc

@@ -1,0 +1,56 @@
+// Vendor behavior profiles.
+//
+// The paper's lab experiments (§3) found one decisive behavioral split
+// between Cisco IOS / BIRD and Junos OS: when a Loc-RIB change produces an
+// advertisement whose post-export-policy attributes are identical to what
+// was already sent (Exp1: internal next-hop switch, Exp3: egress community
+// cleaning), Junos compares against Adj-RIB-Out state and stays quiet,
+// while Cisco IOS and BIRD transmit the duplicate. All three *do* emit
+// updates whose only change is the community attribute (Exp2) — sending
+// those is correct per RFC 4271, even though the paper argues they are
+// operationally unnecessary.
+#pragma once
+
+#include <string>
+
+namespace bgpcc {
+
+struct VendorProfile {
+  std::string name;
+
+  /// Compare the freshly computed advertisement with the Adj-RIB-Out entry
+  /// and suppress it when identical. Junos: true. Cisco IOS / BIRD: false
+  /// (they violate the RFC 4271 §9.2 "shall not" on unchanged routes).
+  bool suppress_duplicate_advertisements = false;
+
+  /// Re-advertise when the Loc-RIB change is internal-only (next hop or
+  /// source switch with identical transitive attributes). All tested
+  /// vendors do; disabling models an "ideal" speaker for ablation benches.
+  bool advertise_on_internal_change = true;
+
+  [[nodiscard]] static VendorProfile cisco_ios() {
+    return {.name = "cisco-ios",
+            .suppress_duplicate_advertisements = false,
+            .advertise_on_internal_change = true};
+  }
+  [[nodiscard]] static VendorProfile junos() {
+    return {.name = "junos",
+            .suppress_duplicate_advertisements = true,
+            .advertise_on_internal_change = true};
+  }
+  [[nodiscard]] static VendorProfile bird() {
+    return {.name = "bird",
+            .suppress_duplicate_advertisements = false,
+            .advertise_on_internal_change = true};
+  }
+  /// Hypothetical fully-RFC-compliant speaker (ablation baseline): behaves
+  /// like Junos and additionally skips advertisement generation entirely
+  /// for internal-only changes.
+  [[nodiscard]] static VendorProfile ideal() {
+    return {.name = "ideal",
+            .suppress_duplicate_advertisements = true,
+            .advertise_on_internal_change = false};
+  }
+};
+
+}  // namespace bgpcc

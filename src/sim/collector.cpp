@@ -1,0 +1,27 @@
+#include "sim/collector.h"
+
+#include <fstream>
+
+#include "bgp/codec.h"
+#include "mrt/mrt.h"
+#include "netbase/error.h"
+
+namespace bgpcc::sim {
+
+void RouteCollector::write_mrt(const std::string& path,
+                               bool extended_time) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw ConfigError("cannot open MRT output file: " + path);
+  mrt::Writer writer(out);
+  for (const RecordedMessage& rec : messages_) {
+    mrt::Bgp4mpMessage message;
+    message.peer_asn = rec.peer_asn;
+    message.local_asn = asn_;
+    message.peer_ip = rec.peer_address;
+    message.local_ip = address_;
+    message.bgp_message = encode_update(rec.update);
+    writer.write_message(rec.time, message, extended_time);
+  }
+}
+
+}  // namespace bgpcc::sim

@@ -1,0 +1,58 @@
+// Route collector: a passive BGP speaker that records every message it
+// hears, per session — the in-simulator equivalent of a RouteViews /
+// RIPE RIS collector (the paper's C1 in Figure 1). Can export its log as
+// an RFC 6396 MRT file byte-compatible with real collector output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/message.h"
+#include "netbase/timeutil.h"
+
+namespace bgpcc::sim {
+
+/// One recorded BGP message on one collector session.
+struct RecordedMessage {
+  Timestamp time;
+  std::uint32_t session_id = 0;
+  Asn peer_asn;
+  IpAddress peer_address;
+  UpdateMessage update;
+};
+
+class RouteCollector {
+ public:
+  RouteCollector(std::string name, Asn asn, IpAddress address)
+      : name_(std::move(name)), asn_(asn), address_(address) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Asn asn() const { return asn_; }
+  [[nodiscard]] const IpAddress& address() const { return address_; }
+
+  void record(Timestamp time, std::uint32_t session_id, Asn peer_asn,
+              const IpAddress& peer_address, const UpdateMessage& update) {
+    messages_.push_back(
+        RecordedMessage{time, session_id, peer_asn, peer_address, update});
+  }
+
+  [[nodiscard]] const std::vector<RecordedMessage>& messages() const {
+    return messages_;
+  }
+  [[nodiscard]] std::size_t message_count() const { return messages_.size(); }
+  void clear() { messages_.clear(); }
+
+  /// Writes the full log as BGP4MP(_ET) records. `extended_time` false
+  /// models the second-granularity collectors the paper's §4 cleaning
+  /// step has to repair.
+  void write_mrt(const std::string& path, bool extended_time = true) const;
+
+ private:
+  std::string name_;
+  Asn asn_;
+  IpAddress address_;
+  std::vector<RecordedMessage> messages_;
+};
+
+}  // namespace bgpcc::sim

@@ -1,0 +1,40 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace bgpcc::sim {
+
+void Scheduler::at(Timestamp when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  queue_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the closure must be moved out, so copy
+  // the wrapper (cheap for std::function) and pop before invoking: the
+  // event may schedule more events.
+  Entry entry = queue_.top();
+  queue_.pop();
+  now_ = entry.when;
+  entry.fn();
+  return true;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(Timestamp until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    step();
+    ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+}  // namespace bgpcc::sim

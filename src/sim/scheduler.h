@@ -1,0 +1,57 @@
+// Discrete-event scheduler: a time-ordered queue of closures. Events at
+// equal timestamps run in FIFO submission order, making every simulation
+// fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "netbase/timeutil.h"
+
+namespace bgpcc::sim {
+
+class Scheduler {
+ public:
+  explicit Scheduler(Timestamp start = Timestamp{}) : now_(start) {}
+
+  [[nodiscard]] Timestamp now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Schedules `fn` at absolute time `when` (clamped to now if earlier;
+  /// the simulator never travels backwards).
+  void at(Timestamp when, std::function<void()> fn);
+  /// Schedules `fn` after a relative delay.
+  void after(Duration delay, std::function<void()> fn) {
+    at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs the next event; returns false if the queue is empty.
+  bool step();
+  /// Runs until the queue drains. Returns the number of events processed.
+  std::size_t run();
+  /// Runs events with timestamp <= `until`. Afterwards now() == until if
+  /// the queue drained past it. Returns events processed.
+  std::size_t run_until(Timestamp until);
+
+ private:
+  struct Entry {
+    Timestamp when;
+    std::uint64_t seq;  // FIFO tie-break
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Timestamp now_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace bgpcc::sim

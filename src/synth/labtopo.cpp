@@ -1,0 +1,123 @@
+#include "synth/labtopo.h"
+
+namespace bgpcc::synth {
+
+const char* label(LabScenario scenario) {
+  switch (scenario) {
+    case LabScenario::kExp1NoCommunities:
+      return "Exp1:no-communities";
+    case LabScenario::kExp2GeoTagging:
+      return "Exp2:geo-tagging";
+    case LabScenario::kExp3EgressCleaning:
+      return "Exp3:egress-cleaning";
+    case LabScenario::kExp4IngressCleaning:
+      return "Exp4:ingress-cleaning";
+  }
+  return "?";
+}
+
+LabExperiment::LabExperiment(LabConfig config)
+    : config_(config), network_(Timestamp::from_unix_seconds(0)) {
+  const VendorProfile& vendor = config_.vendor;
+  // Creation order fixes router ids: Y2 before Y3 so that Y1's tie-break
+  // (lowest router id) selects Y2, as in the paper's Exp1.
+  network_.add_router("Z1", Asn(kAsnZ), vendor);
+  network_.add_router("Y2", Asn(kAsnY), vendor);
+  network_.add_router("Y3", Asn(kAsnY), vendor);
+  network_.add_router("Y1", Asn(kAsnY), vendor);
+  network_.add_router("X1", Asn(kAsnX), vendor);
+  network_.add_collector("C1", Asn(kAsnCollector));
+
+  bool tagging = config_.scenario != LabScenario::kExp1NoCommunities;
+
+  // eBGP edges Z1-Y2 and Z1-Y3, with Y's geo-tagging at ingress.
+  {
+    sim::SessionOptions options;
+    if (tagging) options.b_import = Policy::tag_all(y2_tag());
+    network_.add_session("Z1", "Y2", options);
+  }
+  {
+    sim::SessionOptions options;
+    if (tagging) options.b_import = Policy::tag_all(y3_tag());
+    network_.add_session("Z1", "Y3", options);
+  }
+
+  // iBGP full mesh inside Y; border routers use next-hop-self.
+  session_y1_y2_ = network_.add_session("Y1", "Y2");
+  network_.add_session("Y1", "Y3");
+  network_.add_session("Y2", "Y3");
+
+  // eBGP X1-Y1 (X1's ingress policy carries Exp4's cleaning).
+  {
+    sim::SessionOptions options;
+    if (config_.scenario == LabScenario::kExp4IngressCleaning) {
+      options.a_import = Policy::clean_all();
+    }
+    session_y1_x1_ = network_.add_session("X1", "Y1", options);
+  }
+
+  // Collector session (X1's egress policy carries Exp3's cleaning).
+  {
+    sim::SessionOptions options;
+    if (config_.scenario == LabScenario::kExp3EgressCleaning) {
+      options.b_export = Policy::clean_all();
+    }
+    session_x1_c1_ = network_.add_session("C1", "X1", options);
+  }
+}
+
+LabResult LabExperiment::run() {
+  LabResult result;
+  result.config = config_;
+
+  // Phase 1: converge.
+  network_.start();
+  network_.scheduler().at(Timestamp::from_unix_seconds(1), [this] {
+    network_.router("Z1").originate(prefix_p(), network_.now());
+  });
+  network_.run();
+
+  // Steady-state community attribute at the collector (last announcement).
+  for (const sim::RecordedMessage& rec :
+       network_.collector("C1").messages()) {
+    if (!rec.update.announced.empty() && rec.update.attrs) {
+      result.collector_steady_communities = rec.update.attrs->communities;
+    }
+  }
+
+  // Verify silence: no pending events and a quiet interval produces no
+  // messages (the paper checked only keepalives flow post-convergence).
+  std::uint64_t delivered_before = network_.messages_delivered();
+  network_.run_until(network_.now() + Duration::seconds(60));
+  result.quiet_after_convergence =
+      network_.messages_delivered() == delivered_before;
+
+  // Phase 2: capture and flap.
+  network_.tap_session(session_y1_x1_, [&result](Timestamp t,
+                                                 const std::string& from,
+                                                 const std::string& to,
+                                                 const UpdateMessage& update) {
+    if (from == "Y1") result.y1_to_x1.push_back({t, from, to, update});
+  });
+  network_.tap_session(session_x1_c1_, [&result](Timestamp t,
+                                                 const std::string& from,
+                                                 const std::string& to,
+                                                 const UpdateMessage& update) {
+    if (from == "X1") result.x1_to_c1.push_back({t, from, to, update});
+  });
+
+  RouterStats before = network_.total_router_stats();
+  Timestamp flap_at = network_.now() + Duration::seconds(10);
+  network_.schedule_session_down(session_y1_y2_, flap_at);
+  if (config_.restore_link) {
+    network_.schedule_session_up(session_y1_y2_,
+                                 flap_at + Duration::seconds(30));
+  }
+  network_.run();
+
+  RouterStats after = network_.total_router_stats();
+  result.updates_after_flap = after.updates_sent - before.updates_sent;
+  return result;
+}
+
+}  // namespace bgpcc::synth

@@ -1,0 +1,101 @@
+// The paper's Figure 1 laboratory topology and experiments Exp1-Exp4 (§3),
+// as a reusable harness: four ASes (X, Y, Z and collector C), AS Y with
+// three internal routers, both Y2 and Y3 peering with AS Z.
+//
+//      C1 --- X1 --- Y1 --- Y2 --- Z1
+//                      \    |     /
+//                       \-- Y3 --/
+//
+// Each experiment converges the network, verifies silence, then flaps the
+// Y1-Y2 session and records every message Y1 sends to X1 and every message
+// arriving at the collector.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bgp/message.h"
+#include "core/stream.h"
+#include "router/vendor.h"
+#include "sim/network.h"
+
+namespace bgpcc::synth {
+
+/// Which §3 experiment configuration to build.
+enum class LabScenario {
+  kExp1NoCommunities,   // default behavior, no communities anywhere
+  kExp2GeoTagging,      // Y2 tags Y:300, Y3 tags Y:400 on ingress from Z
+  kExp3EgressCleaning,  // Exp2 + X1 removes all communities toward C1
+  kExp4IngressCleaning, // Exp2 + X1 removes all communities from Y1
+};
+
+[[nodiscard]] const char* label(LabScenario scenario);
+
+struct LabConfig {
+  LabScenario scenario = LabScenario::kExp1NoCommunities;
+  /// Routing software under test; applied to every router (as in the
+  /// paper, which ran each experiment per vendor image).
+  VendorProfile vendor = VendorProfile::cisco_ios();
+  /// Also restore the Y1-Y2 session after the failure (observes the
+  /// flap-back transition too). The paper's single "disable" corresponds
+  /// to false.
+  bool restore_link = false;
+};
+
+/// One captured message with its capture point.
+struct CapturedMessage {
+  Timestamp time;
+  std::string from;
+  std::string to;
+  UpdateMessage update;
+};
+
+struct LabResult {
+  LabConfig config;
+  /// Messages Y1 -> X1 after the flap (the paper's X1/Y1 capture).
+  std::vector<CapturedMessage> y1_to_x1;
+  /// Messages X1 -> C1 after the flap (what the collector sees).
+  std::vector<CapturedMessage> x1_to_c1;
+  /// Total updates sent network-wide after the flap.
+  std::uint64_t updates_after_flap = 0;
+  /// Events processed during convergence (sanity: the network was quiet
+  /// before the flap if post-convergence traffic was zero).
+  bool quiet_after_convergence = false;
+  /// Community attribute seen at the collector at steady state before the
+  /// flap (Exp2: Y:300).
+  CommunitySet collector_steady_communities;
+};
+
+/// Builds, converges and runs one lab experiment.
+class LabExperiment {
+ public:
+  /// ASNs used by the fixed topology.
+  static constexpr std::uint32_t kAsnX = 100;
+  static constexpr std::uint32_t kAsnY = 200;
+  static constexpr std::uint32_t kAsnZ = 300;
+  static constexpr std::uint32_t kAsnCollector = 65010;
+  /// The experiment prefix p.
+  [[nodiscard]] static Prefix prefix_p() {
+    return Prefix::from_string("203.0.113.0/24");
+  }
+  /// Y's ingress geo-tags (Exp2+).
+  [[nodiscard]] static Community y2_tag() { return Community::of(kAsnY, 300); }
+  [[nodiscard]] static Community y3_tag() { return Community::of(kAsnY, 400); }
+
+  explicit LabExperiment(LabConfig config);
+
+  /// Runs the experiment to completion and returns the capture results.
+  [[nodiscard]] LabResult run();
+
+  /// Access to the underlying network (after run(), for RIB inspection).
+  [[nodiscard]] sim::Network& network() { return network_; }
+
+ private:
+  LabConfig config_;
+  sim::Network network_;
+  std::uint32_t session_y1_y2_ = 0;
+  std::uint32_t session_y1_x1_ = 0;
+  std::uint32_t session_x1_c1_ = 0;
+};
+
+}  // namespace bgpcc::synth

@@ -1,0 +1,143 @@
+// Unit tests: AS paths, prepending detection.
+#include <gtest/gtest.h>
+
+#include "bgp/aspath.h"
+#include "netbase/error.h"
+
+namespace bgpcc {
+namespace {
+
+TEST(AsPath, SequenceBasics) {
+  AsPath p = AsPath::sequence({20205, 3356, 174, 12654});
+  EXPECT_EQ(p.length(), 4);
+  EXPECT_EQ(p.first_as(), Asn(20205));
+  EXPECT_EQ(p.origin_as(), Asn(12654));
+  EXPECT_EQ(p.to_string(), "20205 3356 174 12654");
+  EXPECT_TRUE(p.contains(Asn(174)));
+  EXPECT_FALSE(p.contains(Asn(175)));
+}
+
+TEST(AsPath, EmptyPath) {
+  AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0);
+  EXPECT_EQ(p.first_as(), std::nullopt);
+  EXPECT_EQ(p.origin_as(), std::nullopt);
+  EXPECT_EQ(p.to_string(), "");
+}
+
+TEST(AsPath, Prepend) {
+  AsPath p = AsPath::sequence({3356});
+  p.prepend(Asn(100));
+  EXPECT_EQ(p.to_string(), "100 3356");
+  p.prepend(Asn(100), 2);
+  EXPECT_EQ(p.to_string(), "100 100 100 3356");
+  EXPECT_EQ(p.length(), 4);
+}
+
+TEST(AsPath, PrependOnEmpty) {
+  AsPath p;
+  p.prepend(Asn(65000));
+  EXPECT_EQ(p.to_string(), "65000");
+  EXPECT_EQ(p.origin_as(), Asn(65000));
+}
+
+TEST(AsPath, FromString) {
+  AsPath p = AsPath::from_string("100 200 300");
+  EXPECT_EQ(p, AsPath::sequence({100, 200, 300}));
+}
+
+TEST(AsPath, FromStringWithSet) {
+  AsPath p = AsPath::from_string("100 {200 300} 400");
+  ASSERT_EQ(p.segments().size(), 3u);
+  EXPECT_EQ(p.segments()[1].type, AsPathSegment::Type::kSet);
+  // AS_SET counts one toward path length.
+  EXPECT_EQ(p.length(), 3);
+  EXPECT_EQ(p.to_string(), "100 {200 300} 400");
+}
+
+TEST(AsPath, FromStringErrors) {
+  EXPECT_THROW(AsPath::from_string("100 {200"), ParseError);
+  EXPECT_THROW(AsPath::from_string("100 }200"), ParseError);
+  EXPECT_THROW(AsPath::from_string("{{1}}"), ParseError);
+  EXPECT_THROW(AsPath::from_string("{}"), ParseError);
+  EXPECT_THROW(AsPath::from_string("abc"), ParseError);
+  EXPECT_THROW(AsPath::from_string("4294967296"), ParseError);
+}
+
+TEST(AsPath, OriginAsSkipsTrailingSet) {
+  AsPath p = AsPath::from_string("100 200 {300 400}");
+  EXPECT_EQ(p.origin_as(), Asn(200));
+}
+
+TEST(AsPath, AsSetSortedUnique) {
+  AsPath p = AsPath::from_string("100 100 300 200");
+  auto set = p.as_set();
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set[0], Asn(100));
+  EXPECT_EQ(set[1], Asn(200));
+  EXPECT_EQ(set[2], Asn(300));
+}
+
+TEST(AsPath, DedupSequence) {
+  AsPath p = AsPath::from_string("1 1 1 2 3 3");
+  auto dedup = p.dedup_sequence();
+  ASSERT_EQ(dedup.size(), 3u);
+  EXPECT_EQ(dedup[0], Asn(1));
+  EXPECT_EQ(dedup[1], Asn(2));
+  EXPECT_EQ(dedup[2], Asn(3));
+}
+
+TEST(AsPath, PrependingOnlyChangeDetected) {
+  AsPath base = AsPath::from_string("100 200 300");
+  AsPath prepended = AsPath::from_string("100 100 200 300");
+  EXPECT_TRUE(prepended.prepending_only_change_from(base));
+  EXPECT_TRUE(base.prepending_only_change_from(prepended));
+}
+
+TEST(AsPath, IdenticalPathIsNotPrependingChange) {
+  AsPath base = AsPath::from_string("100 200");
+  EXPECT_FALSE(base.prepending_only_change_from(base));
+}
+
+TEST(AsPath, RealPathChangeIsNotPrependingOnly) {
+  AsPath a = AsPath::from_string("100 200 300");
+  AsPath b = AsPath::from_string("100 250 300");
+  EXPECT_FALSE(a.prepending_only_change_from(b));
+}
+
+TEST(AsPath, ReorderedHopsAreNotPrependingOnly) {
+  // Same AS set, different traversal order: a genuine path change.
+  AsPath a = AsPath::from_string("100 200 300");
+  AsPath b = AsPath::from_string("100 300 200");
+  EXPECT_TRUE(a.same_as_set(b));
+  EXPECT_FALSE(a.prepending_only_change_from(b));
+}
+
+TEST(AsPath, FromSegmentsDropsEmpty) {
+  std::vector<AsPathSegment> segments;
+  segments.push_back(AsPathSegment{AsPathSegment::Type::kSequence, {}});
+  segments.push_back(
+      AsPathSegment{AsPathSegment::Type::kSequence, {Asn(1), Asn(2)}});
+  AsPath p = AsPath::from_segments(std::move(segments));
+  EXPECT_EQ(p.segments().size(), 1u);
+}
+
+TEST(AsPath, FromSegmentsRejectsOversized) {
+  std::vector<AsPathSegment> segments;
+  segments.push_back(AsPathSegment{AsPathSegment::Type::kSequence,
+                                   std::vector<Asn>(256, Asn(1))});
+  EXPECT_THROW(AsPath::from_segments(std::move(segments)), ParseError);
+}
+
+TEST(AsPath, PrependOverflowOpensNewSegment) {
+  AsPath p = AsPath::sequence({1});
+  for (int i = 0; i < 254; ++i) p.prepend(Asn(9));
+  EXPECT_EQ(p.segments().size(), 1u);
+  p.prepend(Asn(9), 2);  // would exceed 255 in one segment
+  EXPECT_EQ(p.segments().size(), 2u);
+  EXPECT_EQ(p.length(), 257);
+}
+
+}  // namespace
+}  // namespace bgpcc

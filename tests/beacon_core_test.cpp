@@ -1,0 +1,191 @@
+// Unit tests: beacon schedule, phase labeling, revealed-attribute and
+// community-exploration analyses.
+#include <gtest/gtest.h>
+
+#include "core/beacon.h"
+
+namespace bgpcc::core {
+namespace {
+
+using Phase = BeaconSchedule::Phase;
+
+Timestamp at(int hour, int minute = 0) {
+  return Timestamp::from_unix_seconds(1584230400 + hour * 3600 + minute * 60);
+}
+
+SessionKey session_a() {
+  return SessionKey{"rrc00", Asn(20205), IpAddress::from_string("192.0.2.1")};
+}
+
+UpdateRecord record_at(Timestamp t, const std::string& path,
+                       const std::string& comms, bool announcement = true) {
+  UpdateRecord r;
+  r.time = t;
+  r.session = session_a();
+  r.prefix = Prefix::from_string("84.205.64.0/24");
+  r.announcement = announcement;
+  if (announcement) {
+    r.attrs.as_path = AsPath::from_string(path);
+    if (!comms.empty()) {
+      std::size_t start = 0;
+      while (start < comms.size()) {
+        std::size_t end = comms.find(' ', start);
+        if (end == std::string::npos) end = comms.size();
+        r.attrs.communities.add(
+            Community::from_string(comms.substr(start, end - start)));
+        start = end + 1;
+      }
+    }
+  }
+  return r;
+}
+
+TEST(BeaconSchedule, RipePhases) {
+  BeaconSchedule schedule;
+  EXPECT_EQ(schedule.label(at(0, 0)), Phase::kAnnounce);
+  EXPECT_EQ(schedule.label(at(0, 14)), Phase::kAnnounce);
+  EXPECT_EQ(schedule.label(at(0, 15)), Phase::kOutside);
+  EXPECT_EQ(schedule.label(at(2, 0)), Phase::kWithdraw);
+  EXPECT_EQ(schedule.label(at(2, 14)), Phase::kWithdraw);
+  EXPECT_EQ(schedule.label(at(2, 15)), Phase::kOutside);
+  EXPECT_EQ(schedule.label(at(1, 0)), Phase::kOutside);
+  // Every 4 hours.
+  EXPECT_EQ(schedule.label(at(4, 0)), Phase::kAnnounce);
+  EXPECT_EQ(schedule.label(at(22, 5)), Phase::kWithdraw);
+  EXPECT_EQ(schedule.label(at(23, 59)), Phase::kOutside);
+}
+
+TEST(BeaconSchedule, PhaseTimes) {
+  BeaconSchedule schedule;
+  auto announces = schedule.announce_times(at(0));
+  auto withdraws = schedule.withdraw_times(at(0));
+  ASSERT_EQ(announces.size(), 6u);
+  ASSERT_EQ(withdraws.size(), 6u);
+  EXPECT_EQ(announces[0], at(0));
+  EXPECT_EQ(announces[5], at(20));
+  EXPECT_EQ(withdraws[0], at(2));
+  EXPECT_EQ(withdraws[5], at(22));
+}
+
+TEST(RevealedStats, BucketsByPhaseExclusivity) {
+  BeaconSchedule schedule;
+  UpdateStream stream;
+  // Attribute A: only during withdraw phases.
+  stream.add(record_at(at(2, 1), "1 2", "3356:1"));
+  stream.add(record_at(at(6, 2), "1 2", "3356:1"));
+  // Attribute B: only during announce phase.
+  stream.add(record_at(at(0, 1), "1 2", "3356:2"));
+  // Attribute C: both -> ambiguous.
+  stream.add(record_at(at(0, 5), "1 2", "3356:3"));
+  stream.add(record_at(at(2, 5), "1 2", "3356:3"));
+  // Attribute D: outside only.
+  stream.add(record_at(at(1, 0), "1 2", "3356:4"));
+  // Empty communities never count.
+  stream.add(record_at(at(2, 3), "1 2", ""));
+
+  RevealedStats stats = analyze_revealed(stream, schedule);
+  EXPECT_EQ(stats.total_unique, 4u);
+  EXPECT_EQ(stats.withdrawal_only, 1u);
+  EXPECT_EQ(stats.announce_only, 1u);
+  EXPECT_EQ(stats.outside_only, 1u);
+  EXPECT_EQ(stats.ambiguous, 1u);
+  EXPECT_DOUBLE_EQ(stats.withdrawal_ratio(), 0.25);
+}
+
+TEST(RevealedStats, AttributeIsTheWholeSet) {
+  // {3356:1} and {3356:1, 3356:2} are distinct attributes.
+  BeaconSchedule schedule;
+  UpdateStream stream;
+  stream.add(record_at(at(2, 1), "1 2", "3356:1"));
+  stream.add(record_at(at(2, 2), "1 2", "3356:1 3356:2"));
+  RevealedStats stats = analyze_revealed(stream, schedule);
+  EXPECT_EQ(stats.total_unique, 2u);
+  EXPECT_EQ(stats.withdrawal_only, 2u);
+}
+
+TEST(CommunityExploration, DetectsNcRunsInWithdrawPhase) {
+  BeaconSchedule schedule;
+  UpdateStream stream;
+  // Steady announcement outside the phase.
+  stream.add(record_at(at(1, 0), "20205 3356 174 12654", "3356:2001"));
+  // Withdrawal phase: same path, changing communities (3 nc's).
+  stream.add(record_at(at(2, 1), "20205 3356 174 12654", "3356:2002"));
+  stream.add(record_at(at(2, 2), "20205 3356 174 12654", "3356:2003"));
+  stream.add(record_at(at(2, 3), "20205 3356 174 12654", "3356:2004"));
+  stream.add(record_at(at(2, 4), "", "", false));  // final withdraw
+
+  auto events = find_community_exploration(stream, schedule);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].nc_count, 3);
+  EXPECT_GE(events[0].distinct_attributes, 3);
+  EXPECT_EQ(events[0].as_path.to_string(), "20205 3356 174 12654");
+}
+
+TEST(CommunityExploration, PathChangeBreaksRun) {
+  BeaconSchedule schedule;
+  UpdateStream stream;
+  stream.add(record_at(at(2, 0), "1 2 3", "3356:1"));
+  stream.add(record_at(at(2, 1), "1 2 3", "3356:2"));
+  stream.add(record_at(at(2, 2), "1 9 3", "3356:3"));  // path change
+  stream.add(record_at(at(2, 3), "1 9 3", "3356:4"));
+  auto events = find_community_exploration(stream, schedule);
+  // Two separate runs, each with one nc: below the >=2 threshold.
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(CommunityExploration, SingleNcIsNotAnEvent) {
+  BeaconSchedule schedule;
+  UpdateStream stream;
+  stream.add(record_at(at(2, 0), "1 2", "3356:1"));
+  stream.add(record_at(at(2, 1), "1 2", "3356:2"));
+  EXPECT_TRUE(find_community_exploration(stream, schedule).empty());
+}
+
+TEST(CommunityExploration, OutsidePhaseRunsIgnored) {
+  BeaconSchedule schedule;
+  UpdateStream stream;
+  stream.add(record_at(at(1, 0), "1 2", "3356:1"));
+  stream.add(record_at(at(1, 1), "1 2", "3356:2"));
+  stream.add(record_at(at(1, 2), "1 2", "3356:3"));
+  EXPECT_TRUE(find_community_exploration(stream, schedule).empty());
+}
+
+TEST(RouteSeries, FiltersByPathAndCollectsWithdrawals) {
+  UpdateStream stream;
+  stream.add(record_at(at(0, 1), "20205 3356 174 12654", "3356:2001"));
+  stream.add(record_at(at(2, 1), "20205 6939 50304 12654", "6939:1"));
+  stream.add(record_at(at(2, 2), "20205 3356 174 12654", "3356:2002"));
+  stream.add(record_at(at(2, 5), "", "", false));
+
+  AsPath t_path = AsPath::from_string("20205 3356 174 12654");
+  RouteSeries series =
+      route_series(stream, session_a(),
+                   Prefix::from_string("84.205.64.0/24"), t_path);
+  // First sighting is untyped and excluded; the 2:2 announcement is a pc
+  // (path changed back from the 6939 route).
+  ASSERT_EQ(series.announcements.size(), 1u);
+  EXPECT_EQ(series.announcements[0].type, AnnouncementType::kPc);
+  ASSERT_EQ(series.withdrawals.size(), 1u);
+  EXPECT_EQ(series.withdrawals[0], at(2, 5));
+}
+
+TEST(RouteSeries, UnfilteredSeesAllTypes) {
+  UpdateStream stream;
+  stream.add(record_at(at(0, 1), "1 2", "3356:1"));
+  stream.add(record_at(at(0, 2), "1 2", "3356:2"));
+  stream.add(record_at(at(0, 3), "1 3", "3356:2"));
+  RouteSeries series = route_series(
+      stream, session_a(), Prefix::from_string("84.205.64.0/24"));
+  ASSERT_EQ(series.announcements.size(), 2u);
+  EXPECT_EQ(series.announcements[0].type, AnnouncementType::kNc);
+  EXPECT_EQ(series.announcements[1].type, AnnouncementType::kPn);
+}
+
+TEST(PhaseLabels, Strings) {
+  EXPECT_STREQ(label(Phase::kAnnounce), "announce");
+  EXPECT_STREQ(label(Phase::kWithdraw), "withdraw");
+  EXPECT_STREQ(label(Phase::kOutside), "outside");
+}
+
+}  // namespace
+}  // namespace bgpcc::core

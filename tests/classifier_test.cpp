@@ -1,0 +1,201 @@
+// Unit tests: the §5 announcement-type classifier.
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+
+namespace bgpcc::core {
+namespace {
+
+SessionKey session_a() {
+  return SessionKey{"rrc00", Asn(20205), IpAddress::from_string("192.0.2.1")};
+}
+
+UpdateRecord make_record(const std::string& path, const std::string& comms,
+                         int t = 0, bool announcement = true) {
+  UpdateRecord r;
+  r.time = Timestamp::from_unix_seconds(t);
+  r.session = session_a();
+  r.prefix = Prefix::from_string("84.205.64.0/24");
+  r.announcement = announcement;
+  if (announcement) {
+    r.attrs.as_path = AsPath::from_string(path);
+    r.attrs.next_hop = IpAddress::from_string("192.0.2.1");
+    if (!comms.empty()) {
+      std::size_t start = 0;
+      while (start < comms.size()) {
+        std::size_t end = comms.find(' ', start);
+        if (end == std::string::npos) end = comms.size();
+        r.attrs.communities.add(
+            Community::from_string(comms.substr(start, end - start)));
+        start = end + 1;
+      }
+    }
+  }
+  return r;
+}
+
+TEST(Classifier, FirstSightingIsUntyped) {
+  Classifier c;
+  EXPECT_EQ(c.classify(make_record("100 200", "")), std::nullopt);
+  EXPECT_EQ(c.counts().first_sightings, 1u);
+  EXPECT_EQ(c.counts().total(), 0u);
+}
+
+TEST(Classifier, AllSixTypes) {
+  Classifier c;
+  c.classify(make_record("100 200", "100:1"));
+  // pc: path and community change.
+  EXPECT_EQ(c.classify(make_record("100 300", "100:2")),
+            AnnouncementType::kPc);
+  // pn: path change only.
+  EXPECT_EQ(c.classify(make_record("100 200", "100:2")),
+            AnnouncementType::kPn);
+  // nc: community change only.
+  EXPECT_EQ(c.classify(make_record("100 200", "100:3")),
+            AnnouncementType::kNc);
+  // nn: no change.
+  EXPECT_EQ(c.classify(make_record("100 200", "100:3")),
+            AnnouncementType::kNn);
+  // xc: prepending-only path change + community change.
+  EXPECT_EQ(c.classify(make_record("100 100 200", "100:4")),
+            AnnouncementType::kXc);
+  // xn: prepending-only path change.
+  EXPECT_EQ(c.classify(make_record("100 100 100 200", "100:4")),
+            AnnouncementType::kXn);
+  EXPECT_EQ(c.counts().total(), 6u);
+  for (AnnouncementType t : kAllAnnouncementTypes) {
+    EXPECT_EQ(c.counts().count(t), 1u) << label(t);
+  }
+}
+
+TEST(Classifier, EmptyToEmptyCommunitiesIsNn) {
+  // The paper: "nn announcements also include two empty community
+  // attributes in succession".
+  Classifier c;
+  c.classify(make_record("100 200", ""));
+  EXPECT_EQ(c.classify(make_record("100 200", "")), AnnouncementType::kNn);
+}
+
+TEST(Classifier, WithdrawalDoesNotResetState) {
+  // Figure 4: phases open with pc measured against the pre-withdrawal
+  // announcement.
+  Classifier c;
+  c.classify(make_record("100 200", "100:1"));
+  c.classify(make_record("", "", 1, /*announcement=*/false));
+  EXPECT_EQ(c.counts().withdrawals, 1u);
+  EXPECT_EQ(c.classify(make_record("100 300", "100:2")),
+            AnnouncementType::kPc);
+}
+
+TEST(Classifier, ReAnnouncementAfterWithdrawIdenticalIsNn) {
+  Classifier c;
+  c.classify(make_record("100 200", "100:1"));
+  c.classify(make_record("", "", 1, false));
+  EXPECT_EQ(c.classify(make_record("100 200", "100:1")),
+            AnnouncementType::kNn);
+}
+
+TEST(Classifier, StreamsAreIndependentPerSessionAndPrefix) {
+  Classifier c;
+  UpdateRecord a = make_record("100 200", "");
+  UpdateRecord b = make_record("100 200", "");
+  b.session.peer_asn = Asn(20811);
+  UpdateRecord d = make_record("100 200", "");
+  d.prefix = Prefix::from_string("84.205.65.0/24");
+  EXPECT_EQ(c.classify(a), std::nullopt);
+  EXPECT_EQ(c.classify(b), std::nullopt);
+  EXPECT_EQ(c.classify(d), std::nullopt);
+  EXPECT_EQ(c.counts().first_sightings, 3u);
+  EXPECT_EQ(c.stream_count(), 3u);
+}
+
+TEST(Classifier, MedChangeTrackedWithinNn) {
+  Classifier c;
+  UpdateRecord first = make_record("100 200", "");
+  first.attrs.med = 10;
+  c.classify(first);
+  UpdateRecord second = make_record("100 200", "");
+  second.attrs.med = 20;
+  EXPECT_EQ(c.classify(second), AnnouncementType::kNn);
+  EXPECT_EQ(c.counts().nn_with_med_change, 1u);
+}
+
+TEST(Classifier, SharesSumToOne) {
+  Classifier c;
+  c.classify(make_record("100 200", "100:1"));
+  c.classify(make_record("100 300", "100:2"));
+  c.classify(make_record("100 300", "100:3"));
+  c.classify(make_record("100 300", "100:3"));
+  double sum = 0;
+  for (AnnouncementType t : kAllAnnouncementTypes) {
+    sum += c.counts().share(t);
+  }
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(TypeCounts, Accumulate) {
+  TypeCounts a;
+  a.add(AnnouncementType::kPc);
+  a.withdrawals = 2;
+  TypeCounts b;
+  b.add(AnnouncementType::kPc);
+  b.add(AnnouncementType::kNn);
+  b.first_sightings = 1;
+  a += b;
+  EXPECT_EQ(a.count(AnnouncementType::kPc), 2u);
+  EXPECT_EQ(a.count(AnnouncementType::kNn), 1u);
+  EXPECT_EQ(a.withdrawals, 2u);
+  EXPECT_EQ(a.first_sightings, 1u);
+}
+
+TEST(ClassifyStream, CallbackSeesEverything) {
+  UpdateStream stream;
+  stream.add(make_record("100 200", "100:1"));
+  stream.add(make_record("100 200", "100:2", 1));
+  stream.add(make_record("", "", 2, false));
+  int calls = 0;
+  TypeCounts counts = classify_stream(
+      stream, [&](const UpdateRecord&, std::optional<AnnouncementType>) {
+        ++calls;
+      });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(counts.count(AnnouncementType::kNc), 1u);
+  EXPECT_EQ(counts.withdrawals, 1u);
+}
+
+TEST(PerSessionTypes, SortedByVolumeAndFilteredByPrefix) {
+  UpdateStream stream;
+  // Session A: 3 announcements of the target prefix.
+  stream.add(make_record("100 200", "100:1", 0));
+  stream.add(make_record("100 200", "100:2", 1));
+  stream.add(make_record("100 200", "100:3", 2));
+  // Session B: 2 announcements.
+  for (int t = 0; t < 2; ++t) {
+    UpdateRecord r = make_record("100 200", "", 10 + t);
+    r.session.peer_asn = Asn(20811);
+    stream.add(r);
+  }
+  // A different prefix that must be excluded by the filter.
+  UpdateRecord other = make_record("100 900", "", 20);
+  other.prefix = Prefix::from_string("10.0.0.0/8");
+  stream.add(other);
+
+  auto per_session =
+      per_session_types(stream, Prefix::from_string("84.205.64.0/24"));
+  ASSERT_EQ(per_session.size(), 2u);
+  EXPECT_EQ(per_session[0].first.peer_asn, Asn(20205));
+  EXPECT_EQ(per_session[0].second.count(AnnouncementType::kNc), 2u);
+  EXPECT_EQ(per_session[1].first.peer_asn, Asn(20811));
+  EXPECT_EQ(per_session[1].second.count(AnnouncementType::kNn), 1u);
+}
+
+TEST(Labels, AllDistinct) {
+  std::set<std::string> labels;
+  for (AnnouncementType t : kAllAnnouncementTypes) {
+    labels.insert(label(t));
+  }
+  EXPECT_EQ(labels.size(), 6u);
+}
+
+}  // namespace
+}  // namespace bgpcc::core

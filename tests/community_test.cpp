@@ -1,0 +1,117 @@
+// Unit tests: communities and community sets.
+#include <gtest/gtest.h>
+
+#include "bgp/community.h"
+#include "netbase/error.h"
+
+namespace bgpcc {
+namespace {
+
+TEST(Community, OfAndAccessors) {
+  Community c = Community::of(3356, 2010);
+  EXPECT_EQ(c.asn16(), 3356);
+  EXPECT_EQ(c.value16(), 2010);
+  EXPECT_EQ(c.raw(), (3356u << 16) | 2010u);
+}
+
+TEST(Community, FromString) {
+  EXPECT_EQ(Community::from_string("3356:2010"), Community::of(3356, 2010));
+  EXPECT_EQ(Community::from_string("4294967041").raw(), 0xffffff01u);
+}
+
+TEST(Community, FromStringErrors) {
+  EXPECT_THROW(Community::from_string("65536:1"), ParseError);
+  EXPECT_THROW(Community::from_string("1:65536"), ParseError);
+  EXPECT_THROW(Community::from_string("a:b"), ParseError);
+  EXPECT_THROW(Community::from_string(""), ParseError);
+  EXPECT_THROW(Community::from_string("1:2:3"), ParseError);
+}
+
+TEST(Community, ToString) {
+  EXPECT_EQ(Community::of(65000, 300).to_string(), "65000:300");
+}
+
+TEST(Community, WellKnown) {
+  EXPECT_TRUE(Community::no_export().is_well_known());
+  EXPECT_TRUE(Community::no_advertise().is_well_known());
+  EXPECT_TRUE(Community::blackhole().is_well_known());
+  EXPECT_FALSE(Community::of(3356, 1).is_well_known());
+}
+
+TEST(CommunitySet, SortedUnique) {
+  CommunitySet set;
+  EXPECT_TRUE(set.add(Community::of(2, 2)));
+  EXPECT_TRUE(set.add(Community::of(1, 1)));
+  EXPECT_FALSE(set.add(Community::of(2, 2)));
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.items()[0], Community::of(1, 1));
+  EXPECT_EQ(set.items()[1], Community::of(2, 2));
+}
+
+TEST(CommunitySet, EqualityIsOrderIndependent) {
+  CommunitySet a{Community::of(1, 1), Community::of(2, 2)};
+  CommunitySet b{Community::of(2, 2), Community::of(1, 1)};
+  EXPECT_EQ(a, b);
+}
+
+TEST(CommunitySet, Remove) {
+  CommunitySet set{Community::of(1, 1), Community::of(2, 2)};
+  EXPECT_TRUE(set.remove(Community::of(1, 1)));
+  EXPECT_FALSE(set.remove(Community::of(1, 1)));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CommunitySet, RemoveAsnNamespace) {
+  CommunitySet set{Community::of(3356, 1), Community::of(3356, 9999),
+                   Community::of(174, 5), Community::of(3357, 1)};
+  EXPECT_EQ(set.remove_asn(3356), 2u);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Community::of(174, 5)));
+  EXPECT_TRUE(set.contains(Community::of(3357, 1)));
+}
+
+TEST(CommunitySet, Contains) {
+  CommunitySet set{Community::of(5, 5)};
+  EXPECT_TRUE(set.contains(Community::of(5, 5)));
+  EXPECT_FALSE(set.contains(Community::of(5, 6)));
+}
+
+TEST(CommunitySet, ToString) {
+  CommunitySet set{Community::of(2, 2), Community::of(1, 1)};
+  EXPECT_EQ(set.to_string(), "1:1 2:2");
+  EXPECT_EQ(CommunitySet{}.to_string(), "");
+}
+
+TEST(CommunitySet, OrderingForMapKeys) {
+  CommunitySet a{Community::of(1, 1)};
+  CommunitySet b{Community::of(1, 2)};
+  EXPECT_LT(a, b);
+  CommunitySet c{Community::of(1, 1), Community::of(2, 2)};
+  EXPECT_LT(a, c);  // prefix of a longer set sorts first
+}
+
+TEST(LargeCommunity, RoundTrip) {
+  LargeCommunity lc = LargeCommunity::from_string("64500:1:228");
+  EXPECT_EQ(lc.global_admin, 64500u);
+  EXPECT_EQ(lc.data1, 1u);
+  EXPECT_EQ(lc.data2, 228u);
+  EXPECT_EQ(lc.to_string(), "64500:1:228");
+}
+
+TEST(LargeCommunity, Errors) {
+  EXPECT_THROW(LargeCommunity::from_string("1:2"), ParseError);
+  EXPECT_THROW(LargeCommunity::from_string("x:y:z"), ParseError);
+  EXPECT_THROW(LargeCommunity::from_string("4294967296:0:0"), ParseError);
+}
+
+TEST(LargeCommunitySet, Basics) {
+  LargeCommunitySet set;
+  EXPECT_TRUE(set.add(LargeCommunity{1, 2, 3}));
+  EXPECT_FALSE(set.add(LargeCommunity{1, 2, 3}));
+  EXPECT_TRUE(set.contains(LargeCommunity{1, 2, 3}));
+  EXPECT_TRUE(set.remove(LargeCommunity{1, 2, 3}));
+  EXPECT_TRUE(set.empty());
+}
+
+}  // namespace
+}  // namespace bgpcc

@@ -1,0 +1,145 @@
+// Tests: the macro-scale stream generator (Table 1/2, Figure 2/6 scale).
+#include <gtest/gtest.h>
+
+#include "synth/macrogen.h"
+
+namespace bgpcc::synth {
+namespace {
+
+MacroParams small_params() {
+  MacroParams p = MacroParams::march2020(/*volume_scale=*/1.0 / 16384,
+                                         /*population_scale=*/1.0 / 512);
+  p.sessions = 100;
+  p.peers = 40;
+  p.collectors = 4;
+  return p;
+}
+
+TEST(MacroGen, HitsAnnouncementTarget) {
+  MacroGen gen(small_params());
+  auto result = gen.classify_day();
+  EXPECT_GE(result.stats.announcements, gen.params().announcement_target);
+  // Not wildly above (bursts overshoot a little).
+  EXPECT_LT(result.stats.announcements,
+            gen.params().announcement_target + 1000);
+}
+
+TEST(MacroGen, TypeSharesMatchPaperShape) {
+  // Table 2 *d_mar20: nc+nn > 45%, pc largest, x types ~1%.
+  MacroGen gen(small_params());
+  auto result = gen.classify_day();
+  const core::TypeCounts& t = result.types;
+  ASSERT_GT(t.total(), 10000u);
+
+  double nc_nn = t.share(core::AnnouncementType::kNc) +
+                 t.share(core::AnnouncementType::kNn);
+  EXPECT_GT(nc_nn, 0.40);
+  EXPECT_LT(nc_nn, 0.65);
+
+  double pc = t.share(core::AnnouncementType::kPc);
+  for (core::AnnouncementType type : core::kAllAnnouncementTypes) {
+    EXPECT_GE(pc, t.share(type)) << core::label(type);
+  }
+  double x = t.share(core::AnnouncementType::kXc) +
+             t.share(core::AnnouncementType::kXn);
+  EXPECT_LT(x, 0.05);
+}
+
+TEST(MacroGen, MostAnnouncementsCarryCommunities) {
+  // Table 1: 737M of 1008M announcements carry communities (~73%).
+  MacroGen gen(small_params());
+  auto result = gen.classify_day();
+  double fraction = static_cast<double>(result.stats.with_communities) /
+                    static_cast<double>(result.stats.announcements);
+  EXPECT_GT(fraction, 0.55);
+  EXPECT_LT(fraction, 0.92);
+}
+
+TEST(MacroGen, WithdrawalsAreSmallFraction) {
+  // Table 1: 38.5M withdrawals vs 1008M announcements (~4%).
+  MacroGen gen(small_params());
+  auto result = gen.classify_day();
+  double ratio = static_cast<double>(result.stats.withdrawals) /
+                 static_cast<double>(result.stats.announcements);
+  EXPECT_GT(ratio, 0.005);
+  EXPECT_LT(ratio, 0.15);
+}
+
+TEST(MacroGen, DeterministicWithSameSeed) {
+  auto run = [] {
+    MacroParams p = small_params();
+    p.announcement_target = 5000;
+    MacroGen gen(p);
+    auto result = gen.classify_day();
+    return std::make_tuple(result.stats.announcements,
+                           result.stats.withdrawals,
+                           result.stats.unique_paths.size(),
+                           result.types.count(core::AnnouncementType::kNc));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MacroGen, DifferentSeedsDiffer) {
+  MacroParams a = small_params();
+  a.announcement_target = 5000;
+  MacroParams b = a;
+  b.seed = a.seed + 1;
+  auto result_a = MacroGen(a).classify_day();
+  auto result_b = MacroGen(b).classify_day();
+  EXPECT_NE(result_a.types.count(core::AnnouncementType::kPc),
+            result_b.types.count(core::AnnouncementType::kPc));
+}
+
+TEST(MacroGen, StreamsAreChronologicalPerSessionPrefix) {
+  MacroParams p = small_params();
+  p.announcement_target = 20000;
+  MacroGen gen(p);
+  std::map<std::pair<core::SessionKey, Prefix>, Timestamp> last;
+  gen.generate_day([&](const core::UpdateRecord& record) {
+    auto key = std::make_pair(record.session, record.prefix);
+    auto it = last.find(key);
+    if (it != last.end()) {
+      ASSERT_GE(record.time, it->second)
+          << "stream must be chronological per (session, prefix)";
+    }
+    last[key] = record.time;
+  });
+}
+
+TEST(MacroGen, NnArtifactBoostsDuplicates) {
+  MacroParams base = small_params();
+  base.announcement_target = 20000;
+  MacroParams spiked = base;
+  spiked.nn_artifact = true;
+  auto plain = MacroGen(base).classify_day();
+  auto artifact = MacroGen(spiked).classify_day();
+  EXPECT_GT(artifact.types.count(core::AnnouncementType::kNn),
+            plain.types.count(core::AnnouncementType::kNn) +
+                base.announcement_target / 10);
+}
+
+TEST(MacroGen, GrowthModelMonotone) {
+  MacroParams y2010 = MacroParams::for_sample(2010, 0);
+  MacroParams y2020 = MacroParams::for_sample(2020, 0);
+  EXPECT_LT(y2010.sessions, y2020.sessions);
+  EXPECT_LT(y2010.peers, y2020.peers);
+  EXPECT_LT(y2010.tagged_route_fraction, y2020.tagged_route_fraction);
+  EXPECT_LT(y2010.announcement_target * 2, y2020.announcement_target);
+  // The 2012 artifact is flagged exactly there.
+  EXPECT_TRUE(MacroParams::for_sample(2012, 1).nn_artifact);
+  EXPECT_FALSE(MacroParams::for_sample(2013, 1).nn_artifact);
+}
+
+TEST(MacroGen, SecondGranularitySessionsProduceWholeSeconds) {
+  MacroParams p = small_params();
+  p.announcement_target = 5000;
+  p.second_granularity_fraction = 1.0;
+  bool all_whole = true;
+  MacroGen(p).generate_day([&](const core::UpdateRecord& record) {
+    if (record.time.unix_micros() % 1000000 != 0) all_whole = false;
+  });
+  EXPECT_TRUE(all_whole);
+}
+
+}  // namespace
+}  // namespace bgpcc::synth

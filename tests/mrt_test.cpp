@@ -1,0 +1,146 @@
+// Unit tests: MRT (RFC 6396) reader/writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/codec.h"
+#include "mrt/mrt.h"
+#include "netbase/error.h"
+
+namespace bgpcc::mrt {
+namespace {
+
+Bgp4mpMessage sample_message() {
+  Bgp4mpMessage m;
+  m.peer_asn = Asn(20205);
+  m.local_asn = Asn(65500);
+  m.peer_ip = IpAddress::from_string("192.0.2.1");
+  m.local_ip = IpAddress::from_string("192.0.2.2");
+  m.bgp_message = encode_keepalive();
+  return m;
+}
+
+TEST(Mrt, MessageRoundTripExtendedTime) {
+  std::stringstream buffer;
+  Writer writer(buffer);
+  Timestamp when = Timestamp::from_unix_micros(1584230400123456);
+  writer.write_message(when, sample_message());
+  EXPECT_EQ(writer.records_written(), 1u);
+
+  Reader reader(buffer);
+  auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->timestamp, when);  // microseconds preserved
+  bool four_byte = false;
+  Bgp4mpMessage decoded = Reader::parse_message(*record, &four_byte);
+  EXPECT_TRUE(four_byte);
+  EXPECT_EQ(decoded.peer_asn, Asn(20205));
+  EXPECT_EQ(decoded.peer_ip.to_string(), "192.0.2.1");
+  EXPECT_EQ(decoded.bgp_message, encode_keepalive());
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Mrt, PlainBgp4mpTruncatesToSeconds) {
+  std::stringstream buffer;
+  Writer writer(buffer);
+  Timestamp when = Timestamp::from_unix_micros(1584230400123456);
+  writer.write_message(when, sample_message(), /*extended_time=*/false);
+
+  Reader reader(buffer);
+  auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  // Second-granularity collectors lose sub-second precision — the paper's
+  // §4 cleaning step exists because of this.
+  EXPECT_EQ(record->timestamp, Timestamp::from_unix_seconds(1584230400));
+}
+
+TEST(Mrt, StateChangeRoundTrip) {
+  std::stringstream buffer;
+  Writer writer(buffer);
+  Bgp4mpStateChange change;
+  change.peer_asn = Asn(20205);
+  change.local_asn = Asn(65500);
+  change.peer_ip = IpAddress::from_string("192.0.2.1");
+  change.local_ip = IpAddress::from_string("192.0.2.2");
+  change.old_state = FsmState::kEstablished;
+  change.new_state = FsmState::kIdle;
+  writer.write_state_change(Timestamp::from_unix_seconds(100), change);
+
+  Reader reader(buffer);
+  auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  Bgp4mpStateChange decoded = Reader::parse_state_change(*record);
+  EXPECT_EQ(decoded.old_state, FsmState::kEstablished);
+  EXPECT_EQ(decoded.new_state, FsmState::kIdle);
+  EXPECT_EQ(decoded.peer_asn, change.peer_asn);
+}
+
+TEST(Mrt, Ipv6Endpoints) {
+  std::stringstream buffer;
+  Writer writer(buffer);
+  Bgp4mpMessage m = sample_message();
+  m.peer_ip = IpAddress::from_string("2001:db8::1");
+  m.local_ip = IpAddress::from_string("2001:db8::2");
+  writer.write_message(Timestamp::from_unix_seconds(5), m);
+
+  Reader reader(buffer);
+  auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  Bgp4mpMessage decoded = Reader::parse_message(*record);
+  EXPECT_EQ(decoded.peer_ip.to_string(), "2001:db8::1");
+}
+
+TEST(Mrt, MixedFamilyEndpointsRejected) {
+  std::stringstream buffer;
+  Writer writer(buffer);
+  Bgp4mpMessage m = sample_message();
+  m.local_ip = IpAddress::from_string("2001:db8::2");
+  EXPECT_THROW(
+      writer.write_message(Timestamp::from_unix_seconds(5), m),
+      ConfigError);
+}
+
+TEST(Mrt, MultipleRecordsInOrder) {
+  std::stringstream buffer;
+  Writer writer(buffer);
+  for (int i = 0; i < 5; ++i) {
+    writer.write_message(Timestamp::from_unix_seconds(i), sample_message());
+  }
+  Reader reader(buffer);
+  for (int i = 0; i < 5; ++i) {
+    auto record = reader.next();
+    ASSERT_TRUE(record.has_value()) << i;
+    EXPECT_EQ(record->timestamp.unix_seconds(), i);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Mrt, TruncatedHeaderThrows) {
+  std::stringstream buffer;
+  buffer.write("\x01\x02\x03", 3);
+  Reader reader(buffer);
+  EXPECT_THROW((void)reader.next(), DecodeError);
+}
+
+TEST(Mrt, TruncatedBodyThrows) {
+  std::stringstream buffer;
+  Writer writer(buffer);
+  writer.write_message(Timestamp::from_unix_seconds(1), sample_message());
+  std::string data = buffer.str();
+  std::stringstream cut;
+  cut.write(data.data(), static_cast<std::streamsize>(data.size() - 4));
+  Reader reader(cut);
+  EXPECT_THROW((void)reader.next(), DecodeError);
+}
+
+TEST(Mrt, ParseMessageWrongSubtypeThrows) {
+  Record record;
+  record.type = static_cast<std::uint16_t>(RecordType::kBgp4mp);
+  record.subtype = static_cast<std::uint16_t>(Bgp4mpSubtype::kStateChangeAs4);
+  EXPECT_THROW((void)Reader::parse_message(record), DecodeError);
+  record.type = 13;  // TABLE_DUMP_V2: not BGP4MP
+  EXPECT_THROW((void)Reader::parse_message(record), DecodeError);
+}
+
+}  // namespace
+}  // namespace bgpcc::mrt

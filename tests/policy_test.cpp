@@ -1,0 +1,157 @@
+// Unit tests: route policies.
+#include <gtest/gtest.h>
+
+#include "policy/policy.h"
+
+namespace bgpcc {
+namespace {
+
+Prefix p() { return Prefix::from_string("203.0.113.0/24"); }
+
+PathAttributes base_attrs() {
+  PathAttributes attrs;
+  attrs.as_path = AsPath::sequence({100, 200});
+  attrs.next_hop = IpAddress::from_string("10.0.0.1");
+  return attrs;
+}
+
+TEST(Policy, EmptyPolicyPassesThrough) {
+  Policy policy;
+  PathAttributes attrs = base_attrs();
+  PathAttributes before = attrs;
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));
+  EXPECT_EQ(attrs, before);
+}
+
+TEST(Policy, TagAll) {
+  Policy policy = Policy::tag_all(Community::of(200, 300));
+  PathAttributes attrs = base_attrs();
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));
+  EXPECT_TRUE(attrs.communities.contains(Community::of(200, 300)));
+}
+
+TEST(Policy, CleanAll) {
+  Policy policy = Policy::clean_all();
+  PathAttributes attrs = base_attrs();
+  attrs.communities.add(Community::of(200, 300));
+  attrs.large_communities.add(LargeCommunity{1, 2, 3});
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));
+  EXPECT_TRUE(attrs.communities.empty());
+  EXPECT_TRUE(attrs.large_communities.empty());
+}
+
+TEST(Policy, CleanAsnNamespaceOnly) {
+  Policy policy = Policy::clean_asn(200);
+  PathAttributes attrs = base_attrs();
+  attrs.communities.add(Community::of(200, 300));
+  attrs.communities.add(Community::of(3356, 1));
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));
+  EXPECT_FALSE(attrs.communities.contains(Community::of(200, 300)));
+  EXPECT_TRUE(attrs.communities.contains(Community::of(3356, 1)));
+}
+
+TEST(Policy, DenyAll) {
+  Policy policy = Policy::deny_all();
+  PathAttributes attrs = base_attrs();
+  EXPECT_FALSE(policy.apply(p(), attrs, Asn(65000)));
+}
+
+TEST(Policy, PrependUsesGivenAsn) {
+  Policy policy = Policy::prepend_all(2);
+  PathAttributes attrs = base_attrs();
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));
+  EXPECT_EQ(attrs.as_path.to_string(), "65000 65000 100 200");
+}
+
+TEST(Policy, PrefixMatchRestrictsRule) {
+  Policy policy;
+  PolicyRule rule;
+  rule.match.prefixes = {Prefix::from_string("10.0.0.0/8")};
+  rule.actions.add_communities = {Community::of(1, 1)};
+  policy.add_rule(rule);
+
+  PathAttributes attrs = base_attrs();
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));  // 203.0.113/24: no match
+  EXPECT_TRUE(attrs.communities.empty());
+
+  EXPECT_TRUE(
+      policy.apply(Prefix::from_string("10.1.0.0/16"), attrs, Asn(65000)));
+  EXPECT_TRUE(attrs.communities.contains(Community::of(1, 1)));
+}
+
+TEST(Policy, CommunityMatch) {
+  Policy policy;
+  PolicyRule rule;
+  rule.match.any_community = {Community::blackhole()};
+  rule.actions.deny = true;
+  policy.add_rule(rule);
+
+  PathAttributes attrs = base_attrs();
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));
+  attrs.communities.add(Community::blackhole());
+  EXPECT_FALSE(policy.apply(p(), attrs, Asn(65000)));
+}
+
+TEST(Policy, PathContainsMatch) {
+  Policy policy;
+  PolicyRule rule;
+  rule.match.path_contains = Asn(200);
+  rule.actions.set_local_pref = 50;
+  policy.add_rule(rule);
+
+  PathAttributes attrs = base_attrs();
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));
+  EXPECT_EQ(attrs.local_pref, 50u);
+
+  PathAttributes other = base_attrs();
+  other.as_path = AsPath::sequence({100, 300});
+  EXPECT_TRUE(policy.apply(p(), other, Asn(65000)));
+  EXPECT_FALSE(other.local_pref.has_value());
+}
+
+TEST(Policy, FirstMatchingRuleWins) {
+  Policy policy;
+  PolicyRule first;
+  first.actions.add_communities = {Community::of(1, 1)};
+  PolicyRule second;
+  second.actions.add_communities = {Community::of(2, 2)};
+  policy.add_rule(first).add_rule(second);
+
+  PathAttributes attrs = base_attrs();
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));
+  EXPECT_TRUE(attrs.communities.contains(Community::of(1, 1)));
+  EXPECT_FALSE(attrs.communities.contains(Community::of(2, 2)));
+}
+
+TEST(Policy, MedActions) {
+  Policy policy;
+  PolicyRule rule;
+  rule.actions.set_med = 77;
+  policy.add_rule(rule);
+  PathAttributes attrs = base_attrs();
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));
+  EXPECT_EQ(attrs.med, 77u);
+
+  Policy clear;
+  PolicyRule clear_rule;
+  clear_rule.actions.clear_med = true;
+  clear.add_rule(clear_rule);
+  EXPECT_TRUE(clear.apply(p(), attrs, Asn(65000)));
+  EXPECT_FALSE(attrs.med.has_value());
+}
+
+TEST(Policy, RemoveSpecificCommunities) {
+  Policy policy;
+  PolicyRule rule;
+  rule.actions.remove_communities = {Community::of(1, 1)};
+  rule.actions.add_communities = {Community::of(3, 3)};
+  policy.add_rule(rule);
+  PathAttributes attrs = base_attrs();
+  attrs.communities.add(Community::of(1, 1));
+  attrs.communities.add(Community::of(2, 2));
+  EXPECT_TRUE(policy.apply(p(), attrs, Asn(65000)));
+  EXPECT_EQ(attrs.communities.to_string(), "2:2 3:3");
+}
+
+}  // namespace
+}  // namespace bgpcc

@@ -1,0 +1,112 @@
+// Unit tests: Adj-RIB-In / Loc-RIB / Adj-RIB-Out change semantics.
+#include <gtest/gtest.h>
+
+#include "rib/rib.h"
+
+namespace bgpcc {
+namespace {
+
+Route make_route(int community_value = 0) {
+  Route r;
+  r.prefix = Prefix::from_string("203.0.113.0/24");
+  r.attrs.as_path = AsPath::sequence({100, 200});
+  r.attrs.next_hop = IpAddress::from_string("10.0.0.1");
+  if (community_value != 0) {
+    r.attrs.communities.add(
+        Community::of(200, static_cast<std::uint16_t>(community_value)));
+  }
+  r.source.neighbor_id = 1;
+  return r;
+}
+
+TEST(AdjRibIn, NewChangedUnchanged) {
+  AdjRibIn rib;
+  Route r = make_route(300);
+  EXPECT_EQ(rib.update(r), RibChange::kNew);
+  EXPECT_EQ(rib.update(r), RibChange::kUnchanged);
+  Route r2 = make_route(400);
+  EXPECT_EQ(rib.update(r2), RibChange::kChanged);
+  EXPECT_EQ(rib.size(), 1u);
+}
+
+TEST(AdjRibIn, UnchangedAttrsButNewerTimestampIsUnchanged) {
+  // Duplicate detection must look at attributes, not bookkeeping.
+  AdjRibIn rib;
+  Route r = make_route(300);
+  r.learned_at = Timestamp::from_unix_seconds(1);
+  rib.update(r);
+  r.learned_at = Timestamp::from_unix_seconds(2);
+  EXPECT_EQ(rib.update(r), RibChange::kUnchanged);
+}
+
+TEST(AdjRibIn, Withdraw) {
+  AdjRibIn rib;
+  Route r = make_route();
+  rib.update(r);
+  EXPECT_TRUE(rib.withdraw(r.prefix));
+  EXPECT_FALSE(rib.withdraw(r.prefix));
+  EXPECT_EQ(rib.find(r.prefix), nullptr);
+}
+
+TEST(AdjRibIn, Prefixes) {
+  AdjRibIn rib;
+  Route r = make_route();
+  rib.update(r);
+  Route r2 = make_route();
+  r2.prefix = Prefix::from_string("10.0.0.0/8");
+  rib.update(r2);
+  auto prefixes = rib.prefixes();
+  EXPECT_EQ(prefixes.size(), 2u);
+}
+
+TEST(LocRib, SourceChangeWithSameAttrsIsChanged) {
+  // The Exp1 case: same attributes via a different neighbor must register
+  // as a change (it triggers re-advertisement attempts).
+  LocRib rib;
+  Route r = make_route(300);
+  EXPECT_EQ(rib.set_best(r.prefix, r), RibChange::kNew);
+  Route r2 = r;
+  r2.source.neighbor_id = 2;
+  EXPECT_EQ(rib.set_best(r.prefix, r2), RibChange::kChanged);
+  EXPECT_EQ(rib.set_best(r.prefix, r2), RibChange::kUnchanged);
+}
+
+TEST(LocRib, RemoveAndLookup) {
+  LocRib rib;
+  Route r = make_route();
+  rib.set_best(r.prefix, r);
+  auto hit = rib.lookup(IpAddress::from_string("203.0.113.7"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, r.prefix);
+  EXPECT_TRUE(rib.remove(r.prefix));
+  EXPECT_FALSE(rib.remove(r.prefix));
+  EXPECT_FALSE(
+      rib.lookup(IpAddress::from_string("203.0.113.7")).has_value());
+}
+
+TEST(AdjRibOut, DuplicateDetection) {
+  // The Junos suppression mechanism: kUnchanged flags a would-be duplicate.
+  AdjRibOut rib;
+  Prefix p = Prefix::from_string("203.0.113.0/24");
+  PathAttributes attrs;
+  attrs.as_path = AsPath::sequence({100});
+  attrs.next_hop = IpAddress::from_string("10.0.0.1");
+  EXPECT_EQ(rib.advertise(p, attrs), RibChange::kNew);
+  EXPECT_EQ(rib.advertise(p, attrs), RibChange::kUnchanged);
+  attrs.communities.add(Community::of(200, 300));
+  EXPECT_EQ(rib.advertise(p, attrs), RibChange::kChanged);
+}
+
+TEST(AdjRibOut, WithdrawTracksAdvertisedState) {
+  AdjRibOut rib;
+  Prefix p = Prefix::from_string("203.0.113.0/24");
+  EXPECT_FALSE(rib.withdraw(p));  // never advertised: nothing to withdraw
+  PathAttributes attrs;
+  attrs.as_path = AsPath::sequence({100});
+  rib.advertise(p, attrs);
+  EXPECT_TRUE(rib.withdraw(p));
+  EXPECT_FALSE(rib.withdraw(p));
+}
+
+}  // namespace
+}  // namespace bgpcc
