@@ -8,6 +8,8 @@
 
 #include "bgp/codec.h"
 #include "core/classifier.h"
+#include "core/ingest.h"
+#include "core/registry.h"
 #include "mrt/mrt.h"
 #include "rib/decision.h"
 #include "rib/trie.h"
@@ -103,6 +105,59 @@ void BM_TrieInsertLookup(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_TrieInsertLookup)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Ingestion throughput (records/sec) of the chunked parallel engine over
+// a synthetic multi-session archive, swept over worker counts: the 1-vs-N
+// comparison CI tracks as the seed of the BENCH_*.json trajectory.
+std::string synthetic_ingest_archive(int sessions, int updates_per_session) {
+  std::ostringstream out;
+  mrt::Writer writer(out);
+  Timestamp base = Timestamp::from_unix_seconds(1600000000);
+  for (int u = 0; u < updates_per_session; ++u) {
+    for (int s = 0; s < sessions; ++s) {
+      UpdateMessage update = sample_update(/*communities=*/4);
+      update.attrs->as_path =
+          AsPath::sequence({65000u + static_cast<std::uint32_t>(s), 3356, 174});
+      mrt::Bgp4mpMessage message;
+      message.peer_asn = Asn(65000u + static_cast<std::uint32_t>(s));
+      message.local_asn = Asn(64512);
+      message.peer_ip = IpAddress::v4(0x0a000001u + static_cast<std::uint32_t>(s));
+      message.local_ip = IpAddress::from_string("203.0.113.1");
+      message.bgp_message = encode_update(update);
+      // Half the sessions model second-granularity collectors so the
+      // sub-second repair is on the measured path.
+      writer.write_message(base + Duration::millis(u * 7 + s),
+                           message, /*extended_time=*/s % 2 == 0);
+    }
+  }
+  return out.str();
+}
+
+void BM_IngestMrtStream(benchmark::State& state) {
+  static const std::string archive = synthetic_ingest_archive(64, 256);
+  core::Registry registry;
+  for (std::uint32_t s = 0; s < 64; ++s) registry.allocate_asn(Asn(65000u + s));
+  registry.allocate_asn(Asn(3356));
+  registry.allocate_asn(Asn(174));
+  registry.allocate_prefix(Prefix::from_string("84.205.64.0/24"));
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  core::IngestOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(0));
+  options.chunk_records = 1024;
+  options.cleaning = &cleaning;
+  std::size_t records = 0;
+  for (auto _ : state) {
+    std::istringstream in(archive);
+    core::IngestResult result = core::ingest_mrt_stream("bench", in, options);
+    records = result.stream.size();
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+BENCHMARK(BM_IngestMrtStream)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_DecisionCompare(benchmark::State& state) {
   Route a;

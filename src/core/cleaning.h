@@ -1,0 +1,61 @@
+// §4 cleaning kernels, factored out of the sequential clean() so the
+// sharded parallel ingestion engine (core/ingest.h) runs the exact same
+// code per shard. All kernels operate on SeqRecords: an UpdateRecord
+// tagged with its global arrival sequence number, which is the
+// deterministic tie-break that makes 1-thread and N-thread ingestion
+// produce identical streams.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/stream.h"
+
+namespace bgpcc::core {
+
+/// An UpdateRecord plus its global arrival sequence number. The sequence
+/// is assigned during (sequential, deterministic) framing and survives
+/// decode, sharding, and cleaning, so any two runs can be merged into the
+/// same total order (time, seq) regardless of thread count.
+struct SeqRecord {
+  std::uint64_t seq = 0;
+  UpdateRecord record;
+};
+
+/// Sorts by (record.time, seq): chronological with arrival-order ties.
+void sort_seq_records(std::vector<SeqRecord>& records);
+
+namespace cleaning {
+
+using RouteServerMap = std::map<IpAddress, Asn>;
+
+/// Prepends the route server's ASN to AS paths that lack it (§4: IXP
+/// route servers that do not insert their own ASN). Returns the number of
+/// paths repaired. Order-independent.
+std::size_t repair_route_server_paths(std::vector<SeqRecord>& records,
+                                      const RouteServerMap& servers);
+
+/// Drops records whose AS path or prefix was unallocated at message time
+/// (§4 unallocated-resource filtering). Order-independent.
+void drop_unallocated(std::vector<SeqRecord>& records,
+                      const Registry& registry, std::size_t* dropped_asn,
+                      std::size_t* dropped_prefix);
+
+/// Spaces successive same-second records of one session `step` apart (§4:
+/// second-granularity collectors). Requires `records` sorted by
+/// (time, seq); returns the number of timestamps adjusted. Sessions are
+/// independent, so running this per SessionKey-shard equals running it
+/// over the whole stream.
+std::size_t fix_second_granularity(std::vector<SeqRecord>& records,
+                                   Duration step);
+
+/// The full §4 pipeline over one shard (or the whole stream): route-server
+/// repair, unallocated filtering, then second-granularity timestamp repair
+/// (which sorts `records` by (time, seq) around the adjustment; with
+/// `fix_second_granularity` off the input order is preserved).
+CleaningReport run(std::vector<SeqRecord>& records,
+                   const CleaningOptions& options);
+
+}  // namespace cleaning
+}  // namespace bgpcc::core

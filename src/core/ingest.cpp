@@ -1,0 +1,267 @@
+#include "core/ingest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <iterator>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bgp/codec.h"
+#include "core/cleaning.h"
+#include "mrt/mrt.h"
+#include "netbase/error.h"
+
+namespace bgpcc::core {
+namespace {
+
+// Shard count is fixed (not thread-derived) so the shard assignment — and
+// with it every per-shard cleaning decision — is identical no matter how
+// many workers run. Sessions are hash-distributed; 16 shards keep all
+// realistic thread counts busy without fragmenting tiny inputs.
+constexpr std::size_t kShards = 16;
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+// Runs body(0..jobs-1) on `threads` workers pulling from an atomic
+// counter. Inline when a pool cannot help. The first exception thrown by
+// any worker is rethrown on the caller after all workers join.
+void run_parallel(unsigned threads, std::size_t jobs,
+                  const std::function<void(std::size_t)>& body) {
+  if (threads <= 1 || jobs <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  std::size_t pool_size = std::min<std::size_t>(threads, jobs);
+  pool.reserve(pool_size);
+  for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+/// One decoded batch: records bucketed by SessionKey-hash shard, plus the
+/// batch's share of the deterministic counters.
+struct DecodedChunk {
+  std::vector<std::vector<SeqRecord>> shards{kShards};
+  std::size_t update_messages = 0;
+  std::size_t records = 0;
+};
+
+void bucket_records(std::vector<UpdateRecord>& scratch, std::uint64_t& seq,
+                    DecodedChunk& out) {
+  for (UpdateRecord& record : scratch) {
+    std::size_t shard = record.session.hash() % kShards;
+    out.shards[shard].push_back(SeqRecord{seq++, std::move(record)});
+    ++out.records;
+  }
+  scratch.clear();
+}
+
+// The engine core: decode chunks on the pool, clean each shard on the
+// pool, merge into one totally ordered stream. `decode_chunk(i)` must be a
+// pure function of the input (workers run them in any order).
+IngestResult run_engine(
+    std::size_t num_chunks, std::size_t raw_records,
+    const IngestOptions& options,
+    const std::function<DecodedChunk(std::size_t)>& decode_chunk) {
+  unsigned threads = resolve_threads(options.num_threads);
+
+  IngestResult result;
+  result.stats.chunks = num_chunks;
+  result.stats.raw_records = raw_records;
+  result.stats.shards = kShards;
+  result.stats.threads = threads;
+
+  // Phase 2 — decode+explode+shard, one task per chunk.
+  std::vector<DecodedChunk> decoded(num_chunks);
+  run_parallel(threads, num_chunks,
+               [&](std::size_t i) { decoded[i] = decode_chunk(i); });
+  for (const DecodedChunk& chunk : decoded) {
+    result.stats.update_messages += chunk.update_messages;
+    result.stats.records += chunk.records;
+  }
+
+  // Phase 3 — gather each shard across chunks (chunk order, so shard
+  // contents are deterministic) and run §4 cleaning lock-free per shard.
+  std::vector<std::vector<SeqRecord>> shards(kShards);
+  std::vector<CleaningReport> reports(kShards);
+  run_parallel(threads, kShards, [&](std::size_t s) {
+    std::size_t total = 0;
+    for (const DecodedChunk& chunk : decoded) total += chunk.shards[s].size();
+    shards[s].reserve(total);
+    for (DecodedChunk& chunk : decoded) {
+      std::vector<SeqRecord>& bucket = chunk.shards[s];
+      std::move(bucket.begin(), bucket.end(), std::back_inserter(shards[s]));
+      bucket.clear();
+    }
+    if (options.cleaning != nullptr) {
+      sort_seq_records(shards[s]);
+      reports[s] = cleaning::run(shards[s], *options.cleaning);
+    }
+  });
+  for (const CleaningReport& r : reports) {
+    result.cleaning.dropped_unallocated_asn += r.dropped_unallocated_asn;
+    result.cleaning.dropped_unallocated_prefix += r.dropped_unallocated_prefix;
+    result.cleaning.route_server_paths_repaired +=
+        r.route_server_paths_repaired;
+    result.cleaning.timestamps_adjusted += r.timestamps_adjusted;
+  }
+
+  // Phase 4 — merge into one stream totally ordered by (time, seq), or by
+  // arrival sequence alone for the legacy file-order contract. Records are
+  // large (paths, communities, strings), so sort small POD keys and move
+  // each record exactly once into its final slot.
+  struct MergeKey {
+    std::int64_t time_us;
+    std::uint64_t seq;
+    std::uint32_t shard;
+    std::uint32_t index;
+  };
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  std::vector<MergeKey> keys;
+  keys.reserve(total);
+  for (std::uint32_t s = 0; s < shards.size(); ++s) {
+    for (std::uint32_t i = 0; i < shards[s].size(); ++i) {
+      keys.push_back(MergeKey{shards[s][i].record.time.unix_micros(),
+                              shards[s][i].seq, s, i});
+    }
+  }
+  if (options.sort_by_time) {
+    std::sort(keys.begin(), keys.end(),
+              [](const MergeKey& a, const MergeKey& b) {
+                if (a.time_us != b.time_us) return a.time_us < b.time_us;
+                return a.seq < b.seq;
+              });
+  } else {
+    std::sort(keys.begin(), keys.end(),
+              [](const MergeKey& a, const MergeKey& b) {
+                return a.seq < b.seq;
+              });
+  }
+  result.stream.records().reserve(total);
+  for (const MergeKey& key : keys) {
+    result.stream.records().push_back(
+        std::move(shards[key.shard][key.index].record));
+  }
+  return result;
+}
+
+// Sequence numbers are (chunk index, index within chunk): assigned by the
+// deterministic framing, dense enough for any real chunk size.
+constexpr std::uint64_t seq_base(std::size_t chunk_index) {
+  return static_cast<std::uint64_t>(chunk_index) << 32;
+}
+
+bool is_bgp4mp_message(const mrt::Record& record) {
+  return record.is_bgp4mp() &&
+         (record.subtype ==
+              static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::kMessage) ||
+          record.subtype ==
+              static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::kMessageAs4));
+}
+
+}  // namespace
+
+IngestResult ingest_mrt_stream(const std::string& collector, std::istream& in,
+                               const IngestOptions& options) {
+  // Phase 1 — frame: slice the archive into raw-record batches without
+  // touching bodies. Sequential by nature (MRT is a byte stream).
+  mrt::ChunkedReader reader(in, options.chunk_records);
+  std::vector<std::vector<mrt::Record>> chunks;
+  while (auto chunk = reader.next_chunk()) {
+    chunks.push_back(std::move(*chunk));
+  }
+
+  return run_engine(
+      chunks.size(), reader.records_read(), options,
+      [&](std::size_t i) {
+        DecodedChunk out;
+        std::uint64_t seq = seq_base(i);
+        std::vector<UpdateRecord> scratch;
+        for (const mrt::Record& record : chunks[i]) {
+          if (!is_bgp4mp_message(record)) continue;
+          bool four_byte = true;
+          mrt::Bgp4mpMessage message =
+              mrt::Reader::parse_message(record, &four_byte);
+          if (peek_type(message.bgp_message) != MessageType::kUpdate) {
+            continue;
+          }
+          CodecOptions codec;
+          codec.four_byte_asn = four_byte;
+          UpdateMessage update = decode_update(message.bgp_message, codec);
+          ++out.update_messages;
+          append_update_records(collector, message.peer_asn, message.peer_ip,
+                                record.timestamp, update, scratch);
+          bucket_records(scratch, seq, out);
+        }
+        // Raw bodies are dead weight once decoded; release them here so
+        // peak memory is decoded-records + the chunks still in flight,
+        // not decoded-records + the whole raw archive.
+        std::vector<mrt::Record>().swap(chunks[i]);
+        return out;
+      });
+}
+
+IngestResult ingest_mrt_file(const std::string& collector,
+                             const std::string& path,
+                             const IngestOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DecodeError("cannot open MRT file: " + path);
+  return ingest_mrt_stream(collector, in, options);
+}
+
+IngestResult ingest_collector(const sim::RouteCollector& collector,
+                              const IngestOptions& options) {
+  const std::vector<sim::RecordedMessage>& messages = collector.messages();
+  std::size_t chunk_records =
+      options.chunk_records == 0 ? 1 : options.chunk_records;
+  std::size_t num_chunks =
+      messages.empty() ? 0 : (messages.size() + chunk_records - 1) / chunk_records;
+
+  return run_engine(
+      num_chunks, messages.size(), options,
+      [&](std::size_t i) {
+        DecodedChunk out;
+        std::uint64_t seq = seq_base(i);
+        std::vector<UpdateRecord> scratch;
+        std::size_t begin = i * chunk_records;
+        std::size_t end = std::min(messages.size(), begin + chunk_records);
+        for (std::size_t m = begin; m < end; ++m) {
+          const sim::RecordedMessage& rec = messages[m];
+          ++out.update_messages;
+          append_update_records(collector.name(), rec.peer_asn,
+                                rec.peer_address, rec.time, rec.update,
+                                scratch);
+          bucket_records(scratch, seq, out);
+        }
+        return out;
+      });
+}
+
+}  // namespace bgpcc::core

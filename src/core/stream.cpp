@@ -1,10 +1,10 @@
 #include "core/stream.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 
-#include "bgp/codec.h"
-#include "mrt/mrt.h"
+#include "core/cleaning.h"
+#include "core/ingest.h"
 
 namespace bgpcc::core {
 
@@ -13,9 +13,27 @@ std::string SessionKey::to_string() const {
          peer_address.to_string();
 }
 
-void UpdateStream::add_message(const std::string& collector, Asn peer_asn,
-                               const IpAddress& peer_address, Timestamp time,
-                               const UpdateMessage& update) {
+std::size_t SessionKey::hash() const {
+  // FNV-1a over the key's canonical bytes: collector name, ASN, address.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  for (char c : collector) mix(static_cast<std::uint8_t>(c));
+  std::uint32_t asn = peer_asn.value();
+  for (int shift = 0; shift < 32; shift += 8) {
+    mix(static_cast<std::uint8_t>(asn >> shift));
+  }
+  mix(static_cast<std::uint8_t>(peer_address.family()));
+  for (std::uint8_t byte : peer_address.bytes()) mix(byte);
+  return static_cast<std::size_t>(h);
+}
+
+void append_update_records(const std::string& collector, Asn peer_asn,
+                           const IpAddress& peer_address, Timestamp time,
+                           const UpdateMessage& update,
+                           std::vector<UpdateRecord>& out) {
   SessionKey key{collector, peer_asn, peer_address};
   for (const Prefix& prefix : update.withdrawn) {
     UpdateRecord record;
@@ -23,7 +41,7 @@ void UpdateStream::add_message(const std::string& collector, Asn peer_asn,
     record.session = key;
     record.prefix = prefix;
     record.announcement = false;
-    records_.push_back(std::move(record));
+    out.push_back(std::move(record));
   }
   if (!update.announced.empty() && update.attrs) {
     for (const Prefix& prefix : update.announced) {
@@ -33,33 +51,40 @@ void UpdateStream::add_message(const std::string& collector, Asn peer_asn,
       record.prefix = prefix;
       record.announcement = true;
       record.attrs = *update.attrs;
-      records_.push_back(std::move(record));
+      out.push_back(std::move(record));
     }
   }
 }
 
+void UpdateStream::add_message(const std::string& collector, Asn peer_asn,
+                               const IpAddress& peer_address, Timestamp time,
+                               const UpdateMessage& update) {
+  append_update_records(collector, peer_asn, peer_address, time, update,
+                        records_);
+}
+
+namespace {
+
+// The legacy builders keep their original contract — single-threaded,
+// arrival (file) order, no cleaning — by running the ingestion engine in
+// its compatibility configuration.
+IngestOptions legacy_options() {
+  IngestOptions options;
+  options.num_threads = 1;
+  options.sort_by_time = false;
+  return options;
+}
+
+}  // namespace
+
 UpdateStream UpdateStream::from_collector(
     const sim::RouteCollector& collector) {
-  UpdateStream stream;
-  for (const sim::RecordedMessage& rec : collector.messages()) {
-    stream.add_message(collector.name(), rec.peer_asn, rec.peer_address,
-                       rec.time, rec.update);
-  }
-  return stream;
+  return ingest_collector(collector, legacy_options()).stream;
 }
 
 UpdateStream UpdateStream::from_mrt_file(const std::string& collector,
                                          const std::string& path) {
-  UpdateStream stream;
-  for (const mrt::TimedMessage& tm : mrt::read_all_messages(path)) {
-    if (peek_type(tm.message.bgp_message) != MessageType::kUpdate) continue;
-    CodecOptions options;
-    options.four_byte_asn = tm.four_byte_asn;
-    UpdateMessage update = decode_update(tm.message.bgp_message, options);
-    stream.add_message(collector, tm.message.peer_asn, tm.message.peer_ip,
-                       tm.timestamp, update);
-  }
-  return stream;
+  return ingest_mrt_file(collector, path, legacy_options()).stream;
 }
 
 void UpdateStream::merge(const UpdateStream& other) {
@@ -90,70 +115,20 @@ std::set<SessionKey> UpdateStream::sessions() const {
 }
 
 CleaningReport clean(UpdateStream& stream, const CleaningOptions& options) {
-  CleaningReport report;
-
-  // 1. Route-server AS path repair: prepend the server's ASN when absent.
-  if (!options.route_servers.empty()) {
-    std::map<IpAddress, Asn> servers(options.route_servers.begin(),
-                                     options.route_servers.end());
-    for (UpdateRecord& record : stream.records()) {
-      if (!record.announcement) continue;
-      auto it = servers.find(record.session.peer_address);
-      if (it == servers.end()) continue;
-      auto first = record.attrs.as_path.first_as();
-      if (!first || *first != it->second) {
-        record.attrs.as_path.prepend(it->second);
-        ++report.route_server_paths_repaired;
-      }
-    }
+  // Wrap records with their arrival index and run the shared §4 kernels —
+  // the same code the parallel ingestion engine runs per shard.
+  std::vector<SeqRecord> records;
+  records.reserve(stream.size());
+  std::uint64_t seq = 0;
+  for (UpdateRecord& record : stream.records()) {
+    records.push_back(SeqRecord{seq++, std::move(record)});
   }
-
-  // 2. Unallocated-resource filtering.
-  if (options.registry != nullptr) {
-    const Registry& registry = *options.registry;
-    std::erase_if(stream.records(), [&](const UpdateRecord& record) {
-      if (record.announcement) {
-        for (Asn asn : record.attrs.as_path.flatten()) {
-          if (!registry.asn_allocated(asn, record.time)) {
-            ++report.dropped_unallocated_asn;
-            return true;
-          }
-        }
-      }
-      if (!registry.prefix_allocated(record.prefix, record.time)) {
-        ++report.dropped_unallocated_prefix;
-        return true;
-      }
-      return false;
-    });
+  CleaningReport report = cleaning::run(records, options);
+  stream.records().clear();
+  stream.records().reserve(records.size());
+  for (SeqRecord& sr : records) {
+    stream.records().push_back(std::move(sr.record));
   }
-
-  // 3. Second-granularity repair: offset successive same-second records on
-  // a session by sub_second_step, preserving arrival order.
-  if (options.fix_second_granularity) {
-    stream.sort_by_time();
-    std::map<SessionKey, std::pair<std::int64_t, int>> last_second;
-    for (UpdateRecord& record : stream.records()) {
-      // Collectors with real sub-second stamps are untouched.
-      if (record.time.unix_micros() % 1000000 != 0) continue;
-      auto [it, inserted] = last_second.try_emplace(
-          record.session, std::make_pair(record.time.unix_seconds(), 0));
-      auto& [second, count] = it->second;
-      if (!inserted && second == record.time.unix_seconds()) {
-        ++count;
-        record.time =
-            record.time + Duration::micros(options.sub_second_step
-                                               .count_micros() *
-                                           count);
-        ++report.timestamps_adjusted;
-      } else {
-        second = record.time.unix_seconds();
-        count = 0;
-      }
-    }
-    stream.sort_by_time();
-  }
-
   return report;
 }
 

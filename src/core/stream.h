@@ -28,7 +28,20 @@ struct SessionKey {
   IpAddress peer_address;
 
   [[nodiscard]] std::string to_string() const;
+
+  /// Stable FNV-1a hash (identical across runs and platforms): the shard
+  /// assignment of the parallel ingestion engine, so it must not depend on
+  /// std::hash implementation details.
+  [[nodiscard]] std::size_t hash() const;
+
   friend auto operator<=>(const SessionKey&, const SessionKey&) = default;
+};
+
+/// Hash functor so SessionKey can key unordered containers.
+struct SessionKeyHash {
+  std::size_t operator()(const SessionKey& key) const noexcept {
+    return key.hash();
+  }
 };
 
 /// One announcement or withdrawal of one prefix on one session.
@@ -83,6 +96,15 @@ class UpdateStream {
  private:
   std::vector<UpdateRecord> records_;
 };
+
+/// Explodes one BGP UPDATE into per-prefix records appended to `out`:
+/// withdrawals first, then announcements, matching collector emission
+/// order. The shared decode kernel of UpdateStream::add_message and the
+/// parallel ingestion engine (core/ingest.h).
+void append_update_records(const std::string& collector, Asn peer_asn,
+                           const IpAddress& peer_address, Timestamp time,
+                           const UpdateMessage& update,
+                           std::vector<UpdateRecord>& out);
 
 /// Knobs for the §4 cleaning pipeline.
 struct CleaningOptions {

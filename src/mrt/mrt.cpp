@@ -208,6 +208,23 @@ Bgp4mpStateChange Reader::parse_state_change(const Record& record) {
   return change;
 }
 
+std::optional<std::vector<Record>> ChunkedReader::next_chunk() {
+  if (done_) return std::nullopt;
+  std::vector<Record> chunk;
+  chunk.reserve(chunk_records_);
+  while (chunk.size() < chunk_records_) {
+    auto record = reader_.next();
+    if (!record) {
+      done_ = true;
+      break;
+    }
+    chunk.push_back(std::move(*record));
+  }
+  records_read_ += chunk.size();
+  if (chunk.empty()) return std::nullopt;
+  return chunk;
+}
+
 std::vector<TimedMessage> read_all_messages(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw DecodeError("cannot open MRT file: " + path);

@@ -123,6 +123,29 @@ class Reader {
   std::istream* in_;
 };
 
+/// Batch framing for the parallel ingestion engine (core/ingest.h): pulls
+/// up to `chunk_records` raw records per call without decoding bodies, so
+/// a sequential framer can feed decode workers. A zero chunk size is
+/// treated as 1.
+class ChunkedReader {
+ public:
+  ChunkedReader(std::istream& in, std::size_t chunk_records)
+      : reader_(in), chunk_records_(chunk_records == 0 ? 1 : chunk_records) {}
+
+  /// Returns the next batch (full except possibly the last), or nullopt at
+  /// clean EOF. Throws DecodeError on a truncated or corrupt record.
+  [[nodiscard]] std::optional<std::vector<Record>> next_chunk();
+
+  /// Total records handed out so far.
+  [[nodiscard]] std::size_t records_read() const { return records_read_; }
+
+ private:
+  Reader reader_;
+  std::size_t chunk_records_;
+  std::size_t records_read_ = 0;
+  bool done_ = false;
+};
+
 /// Convenience: reads every BGP4MP message record from an MRT file.
 /// Returns (timestamp, message, four_byte_asn) triples in file order.
 struct TimedMessage {

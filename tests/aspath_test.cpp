@@ -57,12 +57,12 @@ TEST(AsPath, FromStringWithSet) {
 }
 
 TEST(AsPath, FromStringErrors) {
-  EXPECT_THROW(AsPath::from_string("100 {200"), ParseError);
-  EXPECT_THROW(AsPath::from_string("100 }200"), ParseError);
-  EXPECT_THROW(AsPath::from_string("{{1}}"), ParseError);
-  EXPECT_THROW(AsPath::from_string("{}"), ParseError);
-  EXPECT_THROW(AsPath::from_string("abc"), ParseError);
-  EXPECT_THROW(AsPath::from_string("4294967296"), ParseError);
+  EXPECT_THROW((void)AsPath::from_string("100 {200"), ParseError);
+  EXPECT_THROW((void)AsPath::from_string("100 }200"), ParseError);
+  EXPECT_THROW((void)AsPath::from_string("{{1}}"), ParseError);
+  EXPECT_THROW((void)AsPath::from_string("{}"), ParseError);
+  EXPECT_THROW((void)AsPath::from_string("abc"), ParseError);
+  EXPECT_THROW((void)AsPath::from_string("4294967296"), ParseError);
 }
 
 TEST(AsPath, OriginAsSkipsTrailingSet) {

@@ -20,11 +20,11 @@ TEST(Community, FromString) {
 }
 
 TEST(Community, FromStringErrors) {
-  EXPECT_THROW(Community::from_string("65536:1"), ParseError);
-  EXPECT_THROW(Community::from_string("1:65536"), ParseError);
-  EXPECT_THROW(Community::from_string("a:b"), ParseError);
-  EXPECT_THROW(Community::from_string(""), ParseError);
-  EXPECT_THROW(Community::from_string("1:2:3"), ParseError);
+  EXPECT_THROW((void)Community::from_string("65536:1"), ParseError);
+  EXPECT_THROW((void)Community::from_string("1:65536"), ParseError);
+  EXPECT_THROW((void)Community::from_string("a:b"), ParseError);
+  EXPECT_THROW((void)Community::from_string(""), ParseError);
+  EXPECT_THROW((void)Community::from_string("1:2:3"), ParseError);
 }
 
 TEST(Community, ToString) {
@@ -99,9 +99,9 @@ TEST(LargeCommunity, RoundTrip) {
 }
 
 TEST(LargeCommunity, Errors) {
-  EXPECT_THROW(LargeCommunity::from_string("1:2"), ParseError);
-  EXPECT_THROW(LargeCommunity::from_string("x:y:z"), ParseError);
-  EXPECT_THROW(LargeCommunity::from_string("4294967296:0:0"), ParseError);
+  EXPECT_THROW((void)LargeCommunity::from_string("1:2"), ParseError);
+  EXPECT_THROW((void)LargeCommunity::from_string("x:y:z"), ParseError);
+  EXPECT_THROW((void)LargeCommunity::from_string("4294967296:0:0"), ParseError);
 }
 
 TEST(LargeCommunitySet, Basics) {

@@ -71,7 +71,9 @@ TEST(Integration, SecondGranularityMrtNeedsCleaning) {
   for (const core::UpdateRecord& record : stream.records()) {
     auto key = std::make_pair(record.session, record.prefix);
     auto it = last.find(key);
-    if (it != last.end()) EXPECT_GT(record.time, it->second);
+    if (it != last.end()) {
+      EXPECT_GT(record.time, it->second);
+    }
     last[key] = record.time;
   }
 }

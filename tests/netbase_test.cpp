@@ -30,12 +30,12 @@ TEST(IpAddress, V4Extremes) {
 }
 
 TEST(IpAddress, V4Malformed) {
-  EXPECT_THROW(IpAddress::from_string("10.1.2"), ParseError);
-  EXPECT_THROW(IpAddress::from_string("10.1.2.256"), ParseError);
-  EXPECT_THROW(IpAddress::from_string("10.1.2.3.4"), ParseError);
-  EXPECT_THROW(IpAddress::from_string(""), ParseError);
-  EXPECT_THROW(IpAddress::from_string("a.b.c.d"), ParseError);
-  EXPECT_THROW(IpAddress::from_string("10..2.3"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("10.1.2"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("10.1.2.256"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("10.1.2.3.4"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string(""), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("a.b.c.d"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("10..2.3"), ParseError);
 }
 
 TEST(IpAddress, V6RoundTrip) {
@@ -65,12 +65,12 @@ TEST(IpAddress, V6TrailingCompression) {
 }
 
 TEST(IpAddress, V6Malformed) {
-  EXPECT_THROW(IpAddress::from_string("1:2:3:4:5:6:7"), ParseError);
-  EXPECT_THROW(IpAddress::from_string("1:2:3:4:5:6:7:8:9"), ParseError);
-  EXPECT_THROW(IpAddress::from_string("::1::2"), ParseError);
-  EXPECT_THROW(IpAddress::from_string("1:2:3:4:5:6:7:8::"), ParseError);
-  EXPECT_THROW(IpAddress::from_string("12345::"), ParseError);
-  EXPECT_THROW(IpAddress::from_string("g::1"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("1:2:3:4:5:6:7"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("1:2:3:4:5:6:7:8:9"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("::1::2"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("1:2:3:4:5:6:7:8::"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("12345::"), ParseError);
+  EXPECT_THROW((void)IpAddress::from_string("g::1"), ParseError);
 }
 
 TEST(IpAddress, OrderingV4BeforeV6) {
@@ -110,11 +110,11 @@ TEST(Prefix, ParseAndCanonicalize) {
 }
 
 TEST(Prefix, ParseErrors) {
-  EXPECT_THROW(Prefix::from_string("10.0.0.0"), ParseError);
-  EXPECT_THROW(Prefix::from_string("10.0.0.0/33"), ParseError);
-  EXPECT_THROW(Prefix::from_string("10.0.0.0/-1"), ParseError);
-  EXPECT_THROW(Prefix::from_string("10.0.0.0/x"), ParseError);
-  EXPECT_THROW(Prefix::from_string("2001:db8::/129"), ParseError);
+  EXPECT_THROW((void)Prefix::from_string("10.0.0.0"), ParseError);
+  EXPECT_THROW((void)Prefix::from_string("10.0.0.0/33"), ParseError);
+  EXPECT_THROW((void)Prefix::from_string("10.0.0.0/-1"), ParseError);
+  EXPECT_THROW((void)Prefix::from_string("10.0.0.0/x"), ParseError);
+  EXPECT_THROW((void)Prefix::from_string("2001:db8::/129"), ParseError);
 }
 
 TEST(Prefix, ContainsAddress) {
