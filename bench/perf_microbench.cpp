@@ -159,6 +159,55 @@ void BM_IngestMrtStream(benchmark::State& state) {
 }
 BENCHMARK(BM_IngestMrtStream)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+// Multi-archive throughput of the pipelined engine: 8 in-memory archives
+// framed concurrently (bounded-queue fan-out) into one shared shard set,
+// swept over worker counts — the collector-directory workload the paper's
+// multi-collector measurement study implies.
+void BM_IngestMrtSources(benchmark::State& state) {
+  constexpr int kFiles = 8;
+  static const std::vector<std::string> archives = [] {
+    std::vector<std::string> out;
+    out.reserve(kFiles);
+    for (int f = 0; f < kFiles; ++f) {
+      out.push_back(synthetic_ingest_archive(16, 128));
+    }
+    return out;
+  }();
+  core::Registry registry;
+  for (std::uint32_t s = 0; s < 64; ++s) registry.allocate_asn(Asn(65000u + s));
+  registry.allocate_asn(Asn(3356));
+  registry.allocate_asn(Asn(174));
+  registry.allocate_prefix(Prefix::from_string("84.205.64.0/24"));
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  core::IngestOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(0));
+  options.chunk_records = 256;
+  options.cleaning = &cleaning;
+  std::size_t records = 0;
+  for (auto _ : state) {
+    std::vector<std::istringstream> streams;
+    streams.reserve(archives.size());
+    std::vector<core::MrtSource> sources;
+    sources.reserve(archives.size());
+    for (const std::string& archive : archives) {
+      streams.emplace_back(archive);
+    }
+    for (std::size_t f = 0; f < streams.size(); ++f) {
+      sources.push_back(
+          core::MrtSource{"bench" + std::to_string(f), &streams[f]});
+    }
+    core::IngestResult result = core::ingest_mrt_sources(sources, options);
+    records = result.stream.size();
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+  state.counters["files"] = static_cast<double>(kFiles);
+}
+BENCHMARK(BM_IngestMrtSources)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
 void BM_DecisionCompare(benchmark::State& state) {
   Route a;
   a.prefix = Prefix::from_string("84.205.64.0/24");

@@ -1,18 +1,13 @@
 #include "core/cleaning.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 namespace bgpcc::core {
 
 void sort_seq_records(std::vector<SeqRecord>& records) {
-  std::sort(records.begin(), records.end(),
-            [](const SeqRecord& a, const SeqRecord& b) {
-              if (a.record.time != b.record.time) {
-                return a.record.time < b.record.time;
-              }
-              return a.seq < b.seq;
-            });
+  std::sort(records.begin(), records.end(), seq_time_order);
 }
 
 namespace cleaning {
@@ -59,7 +54,10 @@ void drop_unallocated(std::vector<SeqRecord>& records,
 std::size_t fix_second_granularity(std::vector<SeqRecord>& records,
                                    Duration step) {
   std::size_t adjusted = 0;
-  std::map<SessionKey, std::pair<std::int64_t, int>> last_second;
+  // Keyed by the stable FNV hash map: this runs once per record on the
+  // per-shard cleaning hot path, where ordered-map lookups dominated.
+  std::unordered_map<SessionKey, std::pair<std::int64_t, int>, SessionKeyHash>
+      last_second;
   for (SeqRecord& sr : records) {
     UpdateRecord& record = sr.record;
     // Collectors with real sub-second stamps are untouched.

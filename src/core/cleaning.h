@@ -23,6 +23,16 @@ struct SeqRecord {
   UpdateRecord record;
 };
 
+/// The engine's total order: chronological with arrival-order ties. Seq
+/// values are globally unique, so this is a strict total order — the
+/// property that makes the parallel k-way merge (core/ingest.cpp)
+/// deterministic for every thread count and partitioning.
+[[nodiscard]] inline bool seq_time_order(const SeqRecord& a,
+                                         const SeqRecord& b) {
+  if (a.record.time != b.record.time) return a.record.time < b.record.time;
+  return a.seq < b.seq;
+}
+
 /// Sorts by (record.time, seq): chronological with arrival-order ties.
 void sort_seq_records(std::vector<SeqRecord>& records);
 

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <fstream>
 #include <functional>
 #include <istream>
 #include <iterator>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -26,10 +29,33 @@ namespace {
 // realistic thread counts busy without fragmenting tiny inputs.
 constexpr std::size_t kShards = 16;
 
+// Arrival sequence packing: (file 16 bits | chunk 24 bits | record 24
+// bits). Lexicographic order of the packed value equals the logical
+// arrival order of the concatenated sources, which is all the engine
+// needs: seq values never appear in the output, only their relative
+// order does. The guards below make overflow a loud DecodeError instead
+// of a silent ordering corruption.
+constexpr unsigned kFileSeqShift = 48;
+constexpr unsigned kChunkSeqShift = 24;
+constexpr std::uint64_t kMaxFilesPerRun = std::uint64_t{1} << 16;
+constexpr std::uint64_t kMaxChunksPerFile = std::uint64_t{1}
+                                            << (kFileSeqShift - kChunkSeqShift);
+constexpr std::uint64_t kMaxRecordsPerChunk = std::uint64_t{1}
+                                              << kChunkSeqShift;
+
+constexpr std::uint64_t seq_base(std::uint32_t file, std::uint32_t chunk) {
+  return (static_cast<std::uint64_t>(file) << kFileSeqShift) |
+         (static_cast<std::uint64_t>(chunk) << kChunkSeqShift);
+}
+
 unsigned resolve_threads(unsigned requested) {
   if (requested != 0) return requested;
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+std::size_t resolve_chunk_records(const IngestOptions& options) {
+  return options.chunk_records == 0 ? 1 : options.chunk_records;
 }
 
 // Runs body(0..jobs-1) on `threads` workers pulling from an atomic
@@ -64,50 +90,297 @@ void run_parallel(unsigned threads, std::size_t jobs,
   if (error) std::rethrow_exception(error);
 }
 
+// First-error capture shared by the framer and decode threads of one
+// pipelined run. `failed()` is a cheap pre-check so framers stop reading
+// once any stage has died.
+class ErrorCollector {
+ public:
+  void capture() noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_) error_ = std::current_exception();
+    failed_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool failed() const {
+    return failed_.load(std::memory_order_acquire);
+  }
+  void rethrow() {
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr error_;
+  std::atomic<bool> failed_{false};
+};
+
+/// One framed batch in flight between the framer stage and the decode
+/// pool, tagged with its deterministic arrival coordinate.
+struct FramedChunk {
+  std::uint32_t file = 0;
+  std::uint32_t chunk = 0;
+  std::vector<mrt::Record> records;
+};
+
+// The bounded frame→decode queue. Push blocks while full (bounding raw
+// bytes in flight), pop blocks while empty and producers remain. abort()
+// is the error path: it drops queued work and unblocks every producer
+// (push returns false) and consumer (pop returns nullopt), so a throwing
+// framer can never strand decode workers in pop() and a throwing worker
+// can never strand a framer blocked in push() — the deadlock the
+// robustness tests drive for.
+class BoundedChunkQueue {
+ public:
+  BoundedChunkQueue(std::size_t capacity, std::size_t producers)
+      : capacity_(capacity == 0 ? 1 : capacity), producers_(producers) {}
+
+  [[nodiscard]] bool push(FramedChunk&& chunk) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return aborted_ || queue_.size() < capacity_; });
+    if (aborted_) return false;
+    queue_.push_back(std::move(chunk));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  [[nodiscard]] std::optional<FramedChunk> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(
+        lock, [&] { return aborted_ || !queue_.empty() || producers_ == 0; });
+    if (aborted_ || queue_.empty()) return std::nullopt;
+    FramedChunk chunk = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return chunk;
+  }
+
+  /// Each framer calls this exactly once, error or not; the last one out
+  /// releases any consumers still waiting for work.
+  void producer_done() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (producers_ > 0 && --producers_ == 0) not_empty_.notify_all();
+  }
+
+  void abort() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+    queue_.clear();
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<FramedChunk> queue_;
+  std::size_t capacity_;
+  std::size_t producers_;
+  bool aborted_ = false;
+};
+
 /// One decoded batch: records bucketed by SessionKey-hash shard, plus the
-/// batch's share of the deterministic counters.
+/// batch's share of the deterministic counters and its arrival coordinate
+/// (the pipelined pool finishes chunks in any order; the gather stage
+/// re-establishes (file, chunk) order before touching shard state).
 struct DecodedChunk {
+  std::uint32_t file = 0;
+  std::uint32_t chunk = 0;
   std::vector<std::vector<SeqRecord>> shards{kShards};
   std::size_t update_messages = 0;
   std::size_t records = 0;
 };
 
-void bucket_records(std::vector<UpdateRecord>& scratch, std::uint64_t& seq,
-                    DecodedChunk& out) {
+void bucket_records(std::vector<UpdateRecord>& scratch, std::uint64_t base,
+                    std::uint64_t& local, DecodedChunk& out) {
   for (UpdateRecord& record : scratch) {
+    if (local >= kMaxRecordsPerChunk) {
+      throw DecodeError(
+          "arrival-sequence overflow: one chunk explodes past 2^24 records "
+          "(lower IngestOptions::chunk_records)");
+    }
     std::size_t shard = record.session.hash() % kShards;
-    out.shards[shard].push_back(SeqRecord{seq++, std::move(record)});
+    out.shards[shard].push_back(SeqRecord{base + local++, std::move(record)});
     ++out.records;
   }
   scratch.clear();
 }
 
-// The engine core: decode chunks on the pool, clean each shard on the
-// pool, merge into one totally ordered stream. `decode_chunk(i)` must be a
-// pure function of the input (workers run them in any order).
-IngestResult run_engine(
-    std::size_t num_chunks, std::size_t raw_records,
-    const IngestOptions& options,
-    const std::function<DecodedChunk(std::size_t)>& decode_chunk) {
-  unsigned threads = resolve_threads(options.num_threads);
+bool is_bgp4mp_message(const mrt::Record& record) {
+  return record.is_bgp4mp() &&
+         (record.subtype ==
+              static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::kMessage) ||
+          record.subtype ==
+              static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::kMessageAs4));
+}
 
-  IngestResult result;
-  result.stats.chunks = num_chunks;
-  result.stats.raw_records = raw_records;
+DecodedChunk decode_mrt_chunk(const std::string& collector,
+                              FramedChunk&& framed) {
+  DecodedChunk out;
+  out.file = framed.file;
+  out.chunk = framed.chunk;
+  std::uint64_t base = seq_base(framed.file, framed.chunk);
+  std::uint64_t local = 0;
+  std::vector<UpdateRecord> scratch;
+  for (const mrt::Record& record : framed.records) {
+    if (!is_bgp4mp_message(record)) continue;
+    bool four_byte = true;
+    mrt::Bgp4mpMessage message = mrt::Reader::parse_message(record, &four_byte);
+    if (peek_type(message.bgp_message) != MessageType::kUpdate) {
+      continue;
+    }
+    CodecOptions codec;
+    codec.four_byte_asn = four_byte;
+    UpdateMessage update = decode_update(message.bgp_message, codec);
+    ++out.update_messages;
+    append_update_records(collector, message.peer_asn, message.peer_ip,
+                          record.timestamp, update, scratch);
+    bucket_records(scratch, base, local, out);
+  }
+  // Raw bodies are dead weight once decoded; drop them with the chunk so
+  // peak memory is decoded-records + the bounded queue, not
+  // decoded-records + the whole raw archive.
+  framed.records.clear();
+  framed.records.shrink_to_fit();
+  return out;
+}
+
+bool seq_only_order(const SeqRecord& a, const SeqRecord& b) {
+  return a.seq < b.seq;
+}
+
+// Merges one output partition: a k-way tournament (winner tree, runs
+// padded to a power of two) over the per-shard ranges [lo, hi), moving
+// each record straight into its final slot. cmp is a strict total order
+// (seq is globally unique), so the merge — and every partitioning of it —
+// is deterministic.
+void merge_partition(std::vector<std::vector<SeqRecord>>& shards,
+                     const std::vector<std::size_t>& lo,
+                     const std::vector<std::size_t>& hi,
+                     bool (*cmp)(const SeqRecord&, const SeqRecord&),
+                     UpdateRecord* out) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  const std::size_t k = shards.size();
+  struct Run {
+    SeqRecord* cur;
+    SeqRecord* end;
+  };
+  std::vector<Run> runs(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    runs[s] = Run{shards[s].data() + lo[s], shards[s].data() + hi[s]};
+  }
+  std::size_t m = 1;
+  while (m < k) m <<= 1;
+  // node[i] (1 <= i < m): run winning the subtree; leaves m..2m-1 map to
+  // runs, npos marks an exhausted (or padding) run.
+  std::vector<std::size_t> node(m, npos);
+  auto leaf_run = [&](std::size_t leaf) {
+    std::size_t r = leaf - m;
+    return (r < k && runs[r].cur != runs[r].end) ? r : npos;
+  };
+  auto play = [&](std::size_t a, std::size_t b) {
+    if (a == npos) return b;
+    if (b == npos) return a;
+    return cmp(*runs[a].cur, *runs[b].cur) ? a : b;
+  };
+  auto child_winner = [&](std::size_t child) {
+    return child >= m ? leaf_run(child) : node[child];
+  };
+  for (std::size_t i = m - 1; i >= 1; --i) {
+    node[i] = play(child_winner(2 * i), child_winner(2 * i + 1));
+  }
+  for (;;) {
+    std::size_t w = m == 1 ? leaf_run(m) : node[1];
+    if (w == npos) break;
+    *out++ = std::move(runs[w].cur->record);
+    ++runs[w].cur;
+    for (std::size_t i = (m + w) / 2; i >= 1; i /= 2) {
+      node[i] = play(child_winner(2 * i), child_winner(2 * i + 1));
+    }
+  }
+}
+
+// Don't split the merge finer than this: below it, partitioning overhead
+// beats the parallelism it buys.
+constexpr std::size_t kMinRecordsPerMergePartition = 1024;
+
+// Phase 4 — the parallel k-way merge. Sorts each shard run (parallel over
+// shards), cuts the output into `threads` balanced partitions with
+// splitters drawn from the largest run, then tournament-merges every
+// partition concurrently into its preallocated output slice.
+void parallel_merge(std::vector<std::vector<SeqRecord>>& shards, bool by_time,
+                    unsigned threads, std::vector<UpdateRecord>& out) {
+  bool (*cmp)(const SeqRecord&, const SeqRecord&) =
+      by_time ? &seq_time_order : &seq_only_order;
+
+  run_parallel(threads, shards.size(), [&](std::size_t s) {
+    std::sort(shards[s].begin(), shards[s].end(), cmp);
+  });
+
+  std::size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  out.resize(total);
+  if (total == 0) return;
+
+  const std::size_t k = shards.size();
+  std::size_t partitions =
+      threads <= 1
+          ? 1
+          : std::min<std::size_t>(
+                threads,
+                std::max<std::size_t>(1,
+                                      total / kMinRecordsPerMergePartition));
+
+  std::size_t largest = 0;
+  for (std::size_t s = 1; s < k; ++s) {
+    if (shards[s].size() > shards[largest].size()) largest = s;
+  }
+
+  // cuts[p][s]: first index of run s belonging to partition >= p. The
+  // splitter for partition p is the (p/P)-quantile of the largest run;
+  // lower_bound against a strict total order makes the cuts disjoint,
+  // covering, and monotone.
+  std::vector<std::vector<std::size_t>> cuts(
+      partitions + 1, std::vector<std::size_t>(k, 0));
+  for (std::size_t s = 0; s < k; ++s) cuts[partitions][s] = shards[s].size();
+  for (std::size_t p = 1; p < partitions; ++p) {
+    const SeqRecord& splitter =
+        shards[largest][p * shards[largest].size() / partitions];
+    for (std::size_t s = 0; s < k; ++s) {
+      cuts[p][s] = static_cast<std::size_t>(
+          std::lower_bound(shards[s].begin(), shards[s].end(), splitter, cmp) -
+          shards[s].begin());
+    }
+  }
+
+  std::vector<std::size_t> offsets(partitions + 1, 0);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    std::size_t size = 0;
+    for (std::size_t s = 0; s < k; ++s) size += cuts[p + 1][s] - cuts[p][s];
+    offsets[p + 1] = offsets[p] + size;
+  }
+
+  run_parallel(threads, partitions, [&](std::size_t p) {
+    merge_partition(shards, cuts[p], cuts[p + 1], cmp, out.data() + offsets[p]);
+  });
+}
+
+// Phases 3+4 over the decoded chunks: gather each shard in (file, chunk)
+// order, clean per shard, merge. `decoded` must already be sorted by
+// (file, chunk) — within a shard that equals arrival-sequence order, so
+// cross-file session state (route-server repair, sub-second reordering)
+// sees one continuous session history.
+void finish_engine(std::vector<DecodedChunk>& decoded,
+                   const IngestOptions& options, unsigned threads,
+                   IngestResult& result) {
   result.stats.shards = kShards;
   result.stats.threads = threads;
-
-  // Phase 2 — decode+explode+shard, one task per chunk.
-  std::vector<DecodedChunk> decoded(num_chunks);
-  run_parallel(threads, num_chunks,
-               [&](std::size_t i) { decoded[i] = decode_chunk(i); });
+  result.stats.chunks = decoded.size();
   for (const DecodedChunk& chunk : decoded) {
     result.stats.update_messages += chunk.update_messages;
     result.stats.records += chunk.records;
   }
 
-  // Phase 3 — gather each shard across chunks (chunk order, so shard
-  // contents are deterministic) and run §4 cleaning lock-free per shard.
   std::vector<std::vector<SeqRecord>> shards(kShards);
   std::vector<CleaningReport> reports(kShards);
   run_parallel(threads, kShards, [&](std::size_t s) {
@@ -132,100 +405,153 @@ IngestResult run_engine(
     result.cleaning.timestamps_adjusted += r.timestamps_adjusted;
   }
 
-  // Phase 4 — merge into one stream totally ordered by (time, seq), or by
-  // arrival sequence alone for the legacy file-order contract. Records are
-  // large (paths, communities, strings), so sort small POD keys and move
-  // each record exactly once into its final slot.
-  struct MergeKey {
-    std::int64_t time_us;
-    std::uint64_t seq;
-    std::uint32_t shard;
-    std::uint32_t index;
-  };
-  std::size_t total = 0;
-  for (const auto& shard : shards) total += shard.size();
-  std::vector<MergeKey> keys;
-  keys.reserve(total);
-  for (std::uint32_t s = 0; s < shards.size(); ++s) {
-    for (std::uint32_t i = 0; i < shards[s].size(); ++i) {
-      keys.push_back(MergeKey{shards[s][i].record.time.unix_micros(),
-                              shards[s][i].seq, s, i});
-    }
-  }
-  if (options.sort_by_time) {
-    std::sort(keys.begin(), keys.end(),
-              [](const MergeKey& a, const MergeKey& b) {
-                if (a.time_us != b.time_us) return a.time_us < b.time_us;
-                return a.seq < b.seq;
-              });
-  } else {
-    std::sort(keys.begin(), keys.end(),
-              [](const MergeKey& a, const MergeKey& b) {
-                return a.seq < b.seq;
-              });
-  }
-  result.stream.records().reserve(total);
-  for (const MergeKey& key : keys) {
-    result.stream.records().push_back(
-        std::move(shards[key.shard][key.index].record));
-  }
-  return result;
+  parallel_merge(shards, options.sort_by_time, threads,
+                 result.stream.records());
 }
 
-// Sequence numbers are (chunk index, index within chunk): assigned by the
-// deterministic framing, dense enough for any real chunk size.
-constexpr std::uint64_t seq_base(std::size_t chunk_index) {
-  return static_cast<std::uint64_t>(chunk_index) << 32;
-}
-
-bool is_bgp4mp_message(const mrt::Record& record) {
-  return record.is_bgp4mp() &&
-         (record.subtype ==
-              static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::kMessage) ||
-          record.subtype ==
-              static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::kMessageAs4));
+void sort_decoded(std::vector<DecodedChunk>& decoded) {
+  std::sort(decoded.begin(), decoded.end(),
+            [](const DecodedChunk& a, const DecodedChunk& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.chunk < b.chunk;
+            });
 }
 
 }  // namespace
 
-IngestResult ingest_mrt_stream(const std::string& collector, std::istream& in,
-                               const IngestOptions& options) {
-  // Phase 1 — frame: slice the archive into raw-record batches without
-  // touching bodies. Sequential by nature (MRT is a byte stream).
-  mrt::ChunkedReader reader(in, options.chunk_records);
-  std::vector<std::vector<mrt::Record>> chunks;
-  while (auto chunk = reader.next_chunk()) {
-    chunks.push_back(std::move(*chunk));
+IngestResult ingest_mrt_sources(const std::vector<MrtSource>& sources,
+                                const IngestOptions& options) {
+  if (sources.size() >= kMaxFilesPerRun) {
+    throw ConfigError("ingest_mrt_sources: more than 2^16 archive files");
+  }
+  for (const MrtSource& source : sources) {
+    if (source.in == nullptr) {
+      throw ConfigError("ingest_mrt_sources: null stream for collector " +
+                        source.collector);
+    }
+  }
+  unsigned threads = resolve_threads(options.num_threads);
+  std::size_t chunk_records = resolve_chunk_records(options);
+
+  IngestResult result;
+  result.stats.files = sources.size();
+
+  std::vector<DecodedChunk> decoded;
+  std::size_t raw_records = 0;
+
+  auto frame_file = [&](mrt::ChunkedReader& reader, std::uint32_t file,
+                        const std::function<bool(FramedChunk&&)>& sink) {
+    std::uint32_t chunk_index = 0;
+    while (auto chunk = reader.next_chunk()) {
+      if (chunk_index >= kMaxChunksPerFile) {
+        throw DecodeError(
+            "arrival-sequence overflow: one archive frames past 2^24 chunks "
+            "(raise IngestOptions::chunk_records)");
+      }
+      if (!sink(FramedChunk{file, chunk_index++, std::move(*chunk)})) return;
+    }
+  };
+
+  if (threads <= 1 || sources.empty()) {
+    // Inline mode: frame and decode alternate on the caller's thread, one
+    // ChunkedReader reused (reset) across every file. Nothing is buffered
+    // beyond the chunk in flight.
+    std::optional<mrt::ChunkedReader> reader;
+    for (std::size_t f = 0; f < sources.size(); ++f) {
+      if (!reader) {
+        reader.emplace(*sources[f].in, chunk_records);
+      } else {
+        reader->reset(*sources[f].in);
+      }
+      frame_file(*reader, static_cast<std::uint32_t>(f),
+                 [&](FramedChunk&& framed) {
+                   decoded.push_back(decode_mrt_chunk(sources[f].collector,
+                                                      std::move(framed)));
+                   return true;
+                 });
+    }
+    if (reader) raw_records = reader->records_read();
+  } else {
+    // Pipelined mode: framer threads push into the bounded queue, the
+    // decode pool pops concurrently — framing I/O overlaps decode, and
+    // multiple archives are framed in parallel.
+    std::size_t framers =
+        options.frame_threads != 0
+            ? std::min<std::size_t>(options.frame_threads, sources.size())
+            : std::min<std::size_t>({sources.size(), threads, std::size_t{4}});
+    if (framers == 0) framers = 1;
+    std::size_t capacity = options.queue_chunks != 0
+                               ? options.queue_chunks
+                               : std::max<std::size_t>(4, 2 * threads);
+
+    BoundedChunkQueue queue(capacity, framers);
+    ErrorCollector errors;
+    std::atomic<std::size_t> next_file{0};
+    std::atomic<std::size_t> raw_counter{0};
+    std::mutex decoded_mutex;
+
+    auto framer = [&] {
+      std::optional<mrt::ChunkedReader> reader;
+      try {
+        for (;;) {
+          std::size_t f = next_file.fetch_add(1, std::memory_order_relaxed);
+          if (f >= sources.size() || errors.failed()) break;
+          if (!reader) {
+            reader.emplace(*sources[f].in, chunk_records);
+          } else {
+            reader->reset(*sources[f].in);
+          }
+          frame_file(*reader, static_cast<std::uint32_t>(f),
+                     [&](FramedChunk&& framed) {
+                       return queue.push(std::move(framed));
+                     });
+        }
+      } catch (...) {
+        errors.capture();
+        queue.abort();
+      }
+      if (reader) {
+        raw_counter.fetch_add(reader->records_read(),
+                              std::memory_order_relaxed);
+      }
+      queue.producer_done();
+    };
+
+    auto worker = [&] {
+      for (;;) {
+        std::optional<FramedChunk> framed = queue.pop();
+        if (!framed) break;
+        try {
+          DecodedChunk chunk = decode_mrt_chunk(
+              sources[framed->file].collector, std::move(*framed));
+          std::lock_guard<std::mutex> lock(decoded_mutex);
+          decoded.push_back(std::move(chunk));
+        } catch (...) {
+          errors.capture();
+          queue.abort();
+          break;
+        }
+      }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(framers + threads);
+    for (std::size_t t = 0; t < framers; ++t) pool.emplace_back(framer);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    errors.rethrow();
+    raw_records = raw_counter.load();
   }
 
-  return run_engine(
-      chunks.size(), reader.records_read(), options,
-      [&](std::size_t i) {
-        DecodedChunk out;
-        std::uint64_t seq = seq_base(i);
-        std::vector<UpdateRecord> scratch;
-        for (const mrt::Record& record : chunks[i]) {
-          if (!is_bgp4mp_message(record)) continue;
-          bool four_byte = true;
-          mrt::Bgp4mpMessage message =
-              mrt::Reader::parse_message(record, &four_byte);
-          if (peek_type(message.bgp_message) != MessageType::kUpdate) {
-            continue;
-          }
-          CodecOptions codec;
-          codec.four_byte_asn = four_byte;
-          UpdateMessage update = decode_update(message.bgp_message, codec);
-          ++out.update_messages;
-          append_update_records(collector, message.peer_asn, message.peer_ip,
-                                record.timestamp, update, scratch);
-          bucket_records(scratch, seq, out);
-        }
-        // Raw bodies are dead weight once decoded; release them here so
-        // peak memory is decoded-records + the chunks still in flight,
-        // not decoded-records + the whole raw archive.
-        std::vector<mrt::Record>().swap(chunks[i]);
-        return out;
-      });
+  result.stats.raw_records = raw_records;
+  sort_decoded(decoded);
+  finish_engine(decoded, options, threads, result);
+  return result;
+}
+
+IngestResult ingest_mrt_stream(const std::string& collector, std::istream& in,
+                               const IngestOptions& options) {
+  return ingest_mrt_sources({MrtSource{collector, &in}}, options);
 }
 
 IngestResult ingest_mrt_file(const std::string& collector,
@@ -236,32 +562,97 @@ IngestResult ingest_mrt_file(const std::string& collector,
   return ingest_mrt_stream(collector, in, options);
 }
 
+IngestResult ingest_mrt_files(
+    const std::map<std::string, std::vector<std::string>>& archives,
+    const IngestOptions& options) {
+  std::vector<std::unique_ptr<std::ifstream>> streams;
+  std::vector<MrtSource> sources;
+  for (const auto& [collector, paths] : archives) {
+    for (const std::string& path : paths) {
+      auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
+      if (!*in) throw DecodeError("cannot open MRT file: " + path);
+      sources.push_back(MrtSource{collector, in.get()});
+      streams.push_back(std::move(in));
+    }
+  }
+  return ingest_mrt_sources(sources, options);
+}
+
+IngestResult ingest_mrt_files(const std::string& collector,
+                              const std::vector<std::string>& paths,
+                              const IngestOptions& options) {
+  return ingest_mrt_files({{collector, paths}}, options);
+}
+
+IngestResult ingest_collectors(
+    const std::vector<const sim::RouteCollector*>& collectors,
+    const IngestOptions& options) {
+  if (collectors.size() >= kMaxFilesPerRun) {
+    throw ConfigError("ingest_collectors: more than 2^16 collectors");
+  }
+  unsigned threads = resolve_threads(options.num_threads);
+  std::size_t chunk_records = resolve_chunk_records(options);
+
+  IngestResult result;
+  result.stats.files = collectors.size();
+
+  // Recorded messages are already in memory, so the job list is known
+  // upfront: one (collector, chunk) pair per batch, dispatched straight to
+  // the pool — no framer stage, no queue.
+  struct Job {
+    std::uint32_t file;
+    std::uint32_t chunk;
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t c = 0; c < collectors.size(); ++c) {
+    if (collectors[c] == nullptr) {
+      throw ConfigError("ingest_collectors: null collector");
+    }
+    std::size_t count = collectors[c]->messages().size();
+    result.stats.raw_records += count;
+    std::size_t chunks = (count + chunk_records - 1) / chunk_records;
+    if (chunks >= kMaxChunksPerFile) {
+      throw ConfigError("ingest_collectors: collector log frames past 2^24 "
+                        "chunks (raise IngestOptions::chunk_records)");
+    }
+    for (std::size_t k = 0; k < chunks; ++k) {
+      jobs.push_back(Job{static_cast<std::uint32_t>(c),
+                         static_cast<std::uint32_t>(k), k * chunk_records,
+                         std::min(count, (k + 1) * chunk_records)});
+    }
+  }
+
+  std::vector<DecodedChunk> decoded(jobs.size());
+  run_parallel(threads, jobs.size(), [&](std::size_t j) {
+    const Job& job = jobs[j];
+    const sim::RouteCollector& collector = *collectors[job.file];
+    const std::vector<sim::RecordedMessage>& messages = collector.messages();
+    DecodedChunk out;
+    out.file = job.file;
+    out.chunk = job.chunk;
+    std::uint64_t base = seq_base(job.file, job.chunk);
+    std::uint64_t local = 0;
+    std::vector<UpdateRecord> scratch;
+    for (std::size_t m = job.begin; m < job.end; ++m) {
+      const sim::RecordedMessage& rec = messages[m];
+      ++out.update_messages;
+      append_update_records(collector.name(), rec.peer_asn, rec.peer_address,
+                            rec.time, rec.update, scratch);
+      bucket_records(scratch, base, local, out);
+    }
+    decoded[j] = std::move(out);
+  });
+
+  sort_decoded(decoded);
+  finish_engine(decoded, options, threads, result);
+  return result;
+}
+
 IngestResult ingest_collector(const sim::RouteCollector& collector,
                               const IngestOptions& options) {
-  const std::vector<sim::RecordedMessage>& messages = collector.messages();
-  std::size_t chunk_records =
-      options.chunk_records == 0 ? 1 : options.chunk_records;
-  std::size_t num_chunks =
-      messages.empty() ? 0 : (messages.size() + chunk_records - 1) / chunk_records;
-
-  return run_engine(
-      num_chunks, messages.size(), options,
-      [&](std::size_t i) {
-        DecodedChunk out;
-        std::uint64_t seq = seq_base(i);
-        std::vector<UpdateRecord> scratch;
-        std::size_t begin = i * chunk_records;
-        std::size_t end = std::min(messages.size(), begin + chunk_records);
-        for (std::size_t m = begin; m < end; ++m) {
-          const sim::RecordedMessage& rec = messages[m];
-          ++out.update_messages;
-          append_update_records(collector.name(), rec.peer_asn,
-                                rec.peer_address, rec.time, rec.update,
-                                scratch);
-          bucket_records(scratch, seq, out);
-        }
-        return out;
-      });
+  return ingest_collectors({&collector}, options);
 }
 
 }  // namespace bgpcc::core

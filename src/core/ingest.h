@@ -1,31 +1,42 @@
-// Chunked, parallel, sharded ingestion: the hot path that turns raw
-// collector output (MRT archives or simulated collectors) into the
-// cleaned, chronologically ordered UpdateStream every analysis layer
+// Pipelined, parallel, sharded ingestion: the hot path that turns raw
+// collector output (MRT archive directories or simulated collectors) into
+// the cleaned, chronologically ordered UpdateStream every analysis layer
 // consumes.
 //
 // Pipeline:
-//   1. Frame   — a sequential reader slices the input into batches of
-//                `chunk_records` raw records, assigning each a global
-//                arrival sequence number (the determinism anchor).
-//   2. Decode  — a worker pool decodes each batch (BGP4MP endpoints +
-//                inner UPDATE) and explodes messages into per-prefix
-//                UpdateRecords.
+//   1. Frame   — sequential readers (one per archive file, fanned out over
+//                `frame_threads`) slice the input into batches of
+//                `chunk_records` raw records. Each batch carries a
+//                (file, chunk) arrival coordinate — the determinism
+//                anchor — and is pushed into a bounded queue so framing
+//                I/O overlaps decode instead of serializing before it.
+//   2. Decode  — a worker pool pops batches off the queue as they arrive
+//                (decode starts while later files are still being framed),
+//                decodes each (BGP4MP endpoints + inner UPDATE) and
+//                explodes messages into per-prefix UpdateRecords.
 //   3. Shard   — decoded records are bucketed by SessionKey hash, so every
-//                BGP session lands wholly inside one shard and the §4
-//                cleaning pipeline (unallocated filtering, route-server
-//                AS-path repair, sub-second reordering) runs lock-free
-//                per shard.
-//   4. Merge   — shards are merged into one UpdateStream totally ordered
-//                by (timestamp, arrival sequence).
+//                BGP session lands wholly inside one shard — even when its
+//                messages span several archive files — and the §4 cleaning
+//                pipeline (unallocated filtering, route-server AS-path
+//                repair, sub-second reordering) runs lock-free per shard,
+//                once per session, not once per file.
+//   4. Merge   — the sorted shard runs are stitched into one UpdateStream
+//                totally ordered by (timestamp, arrival sequence) with a
+//                partitioned k-way tournament (loser-tree) merge: workers
+//                merge disjoint slices of the output concurrently.
 //
-// Every stage is deterministic in the input alone: ingesting with 1 thread
-// or N threads (and any chunk size) yields byte-identical streams, reports,
-// and stats — stream_parallel_test asserts exactly that.
+// Every stage is deterministic in the logical record sequence alone:
+// ingesting with 1 thread or N threads, any chunk size, any queue depth,
+// and any split of the same records across archive files yields
+// byte-identical streams, reports, and stats — stream_parallel_test and
+// ingest_differential_test assert exactly that.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "core/stream.h"
 #include "sim/collector.h"
@@ -34,12 +45,21 @@ namespace bgpcc::core {
 
 /// Knobs for the parallel ingestion engine.
 struct IngestOptions {
-  /// Worker threads for decode and per-shard cleaning. 0 means "use
-  /// std::thread::hardware_concurrency()"; 1 runs everything inline.
+  /// Worker threads for decode, per-shard cleaning, and the partitioned
+  /// merge. 0 means "use std::thread::hardware_concurrency()"; 1 runs
+  /// everything inline (no queue, no threads).
   unsigned num_threads = 1;
   /// Raw records per framed batch: the decode work unit. Smaller chunks
   /// balance better, larger chunks amortize dispatch.
   std::size_t chunk_records = 4096;
+  /// Depth of the bounded frame→decode queue, in chunks. Bounds the raw
+  /// bytes in flight (framers block when decode falls behind). 0 means
+  /// "auto": 2× the worker count, at least 4.
+  std::size_t queue_chunks = 0;
+  /// Concurrent framer threads for multi-archive ingestion (each frames
+  /// whole files; a single stream is inherently one framer). 0 means
+  /// "auto": min(#files, num_threads, 4).
+  unsigned frame_threads = 0;
   /// When true (default) the output is sorted by (timestamp, arrival
   /// sequence); when false it keeps arrival order — the legacy
   /// UpdateStream::from_mrt_file / from_collector contract.
@@ -50,10 +70,12 @@ struct IngestOptions {
 };
 
 /// Observability counters for one ingestion run. The counting fields
-/// (chunks, raw_records, update_messages, records) are deterministic —
-/// identical across thread counts for the same input; `threads` and
-/// `shards` record the resolved configuration.
+/// (files, chunks, raw_records, update_messages, records) are
+/// deterministic — identical across thread counts and queue depths for
+/// the same input; `threads` and `shards` record the resolved
+/// configuration.
 struct IngestStats {
+  std::size_t files = 1;          ///< archive files / sources ingested
   std::size_t chunks = 0;         ///< framed batches
   std::size_t raw_records = 0;    ///< MRT records / recorded messages seen
   std::size_t update_messages = 0;///< BGP UPDATEs decoded
@@ -70,7 +92,7 @@ struct IngestResult {
 
 /// Ingests an MRT file (BGP4MP message records). `collector` names the
 /// archive's origin for the session keys. Throws DecodeError on corrupt
-/// input — also from worker threads.
+/// input — also from framer and decode worker threads.
 [[nodiscard]] IngestResult ingest_mrt_file(const std::string& collector,
                                            const std::string& path,
                                            const IngestOptions& options = {});
@@ -80,8 +102,45 @@ struct IngestResult {
                                              std::istream& in,
                                              const IngestOptions& options = {});
 
+/// One archive stream of a multi-source ingestion run: the collector the
+/// session keys are attributed to, plus a caller-owned binary stream.
+struct MrtSource {
+  std::string collector;
+  std::istream* in = nullptr;
+};
+
+/// Ingests many archive streams into ONE shard set: sources are framed
+/// concurrently (bounded fan-out), per-source arrival-sequence bases keep
+/// the global order deterministic — records interleave exactly as if the
+/// sources had been concatenated in the given order — and cross-file
+/// session state is cleaned once. The workhorse behind ingest_mrt_files;
+/// exposed for in-memory archives (tests, benchmarks, network buffers).
+[[nodiscard]] IngestResult ingest_mrt_sources(
+    const std::vector<MrtSource>& sources, const IngestOptions& options = {});
+
+/// Ingests a whole archive directory: collector → its MRT files, in
+/// chronological (i.e. given) order per collector. Collectors are
+/// processed in map order, so the logical record sequence — and with it
+/// the output — is deterministic.
+[[nodiscard]] IngestResult ingest_mrt_files(
+    const std::map<std::string, std::vector<std::string>>& archives,
+    const IngestOptions& options = {});
+
+/// Convenience: one collector, many files.
+[[nodiscard]] IngestResult ingest_mrt_files(
+    const std::string& collector, const std::vector<std::string>& paths,
+    const IngestOptions& options = {});
+
 /// Ingests everything a simulated collector recorded.
-[[nodiscard]] IngestResult ingest_collector(const sim::RouteCollector& collector,
-                                            const IngestOptions& options = {});
+[[nodiscard]] IngestResult ingest_collector(
+    const sim::RouteCollector& collector, const IngestOptions& options = {});
+
+/// Ingests several simulated collectors into one shared shard set — the
+/// in-simulator equivalent of multi-collector archive ingestion. Collector
+/// order defines the arrival-sequence bases (and so the deterministic
+/// interleaving of equal timestamps).
+[[nodiscard]] IngestResult ingest_collectors(
+    const std::vector<const sim::RouteCollector*>& collectors,
+    const IngestOptions& options = {});
 
 }  // namespace bgpcc::core

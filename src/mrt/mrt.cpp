@@ -84,21 +84,44 @@ void write_record_bytes(std::ostream& out, Timestamp when,
   if (!out) throw DecodeError("MRT write failed (stream error)");
 }
 
+// The reader accepts exactly the record shapes this library understands;
+// anything else is a hard DecodeError so corrupt archives cannot be
+// silently skipped past.
+bool known_record_type(std::uint16_t type) {
+  return type == static_cast<std::uint16_t>(RecordType::kBgp4mp) ||
+         type == static_cast<std::uint16_t>(RecordType::kBgp4mpEt);
+}
+
+bool known_bgp4mp_subtype(std::uint16_t subtype) {
+  switch (static_cast<Bgp4mpSubtype>(subtype)) {
+    case Bgp4mpSubtype::kStateChange:
+    case Bgp4mpSubtype::kMessage:
+    case Bgp4mpSubtype::kMessageAs4:
+    case Bgp4mpSubtype::kStateChangeAs4:
+      return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 void Writer::write_message(Timestamp when, const Bgp4mpMessage& message,
-                           bool extended_time) {
+                           bool extended_time, bool as4) {
+  if (!as4 && (message.peer_asn.value() > 0xFFFF ||
+               message.local_asn.value() > 0xFFFF)) {
+    throw ConfigError("two-octet BGP4MP message cannot carry a 4-byte ASN");
+  }
   ByteWriter body;
-  // Always AS4 subtype on write: all modern collector output is AS4.
   write_endpoints(body, message.peer_asn, message.local_asn,
                   message.interface_index, message.peer_ip, message.local_ip,
-                  /*as4=*/true);
+                  as4);
   body.bytes(message.bgp_message);
   write_record_bytes(
       *out_, when,
       extended_time ? RecordType::kBgp4mpEt : RecordType::kBgp4mp,
-      static_cast<std::uint16_t>(Bgp4mpSubtype::kMessageAs4), body.data(),
-      extended_time);
+      static_cast<std::uint16_t>(as4 ? Bgp4mpSubtype::kMessageAs4
+                                     : Bgp4mpSubtype::kMessage),
+      body.data(), extended_time);
   ++count_;
 }
 
@@ -140,6 +163,18 @@ std::optional<Record> Reader::next() {
   record.type = hr.u16();
   record.subtype = hr.u16();
   std::uint32_t length = hr.u32();
+  if (!known_record_type(record.type)) {
+    throw DecodeError("unknown MRT record type " +
+                      std::to_string(record.type));
+  }
+  if (!known_bgp4mp_subtype(record.subtype)) {
+    throw DecodeError("unknown BGP4MP subtype " +
+                      std::to_string(record.subtype));
+  }
+  if (length > kMaxRecordLength) {
+    throw DecodeError("MRT record length " + std::to_string(length) +
+                      " exceeds sanity bound");
+  }
 
   std::vector<std::uint8_t> payload(length);
   in_->read(reinterpret_cast<char*>(payload.data()),

@@ -25,6 +25,13 @@ enum class RecordType : std::uint16_t {
   kBgp4mpEt = 17,
 };
 
+/// Upper bound on the header length field the reader will accept. A lying
+/// length (e.g. 0xFFFFFFFF on a truncated archive) must fail fast with
+/// DecodeError instead of attempting a multi-gigabyte allocation. Real
+/// BGP4MP bodies are < 5 KiB (endpoints + one 4096-byte BGP message); the
+/// bound is generous for any legitimate record.
+inline constexpr std::uint32_t kMaxRecordLength = 16u * 1024 * 1024;
+
 /// BGP4MP subtypes (RFC 6396 §4.4).
 enum class Bgp4mpSubtype : std::uint16_t {
   kStateChange = 0,
@@ -87,9 +94,12 @@ class Writer {
 
   /// `extended_time` selects BGP4MP_ET (microsecond stamps) vs BGP4MP
   /// (second stamps — collectors configured like the paper's
-  /// second-granularity ones).
+  /// second-granularity ones). `as4` false writes the legacy two-octet
+  /// MESSAGE subtype (both ASNs must fit 16 bits; throws ConfigError
+  /// otherwise) — the inner BGP message must then also use two-octet
+  /// AS-path encoding.
   void write_message(Timestamp when, const Bgp4mpMessage& message,
-                     bool extended_time = true);
+                     bool extended_time = true, bool as4 = true);
   void write_state_change(Timestamp when, const Bgp4mpStateChange& change,
                           bool extended_time = true);
   /// Low-level escape hatch: write a pre-built record verbatim.
@@ -108,8 +118,14 @@ class Reader {
   explicit Reader(std::istream& in) : in_(&in) {}
 
   /// Returns the next record, or nullopt at clean EOF. Throws DecodeError
-  /// on a truncated or corrupt record.
+  /// on a truncated or corrupt record, an unknown record type or BGP4MP
+  /// subtype, or a length field beyond kMaxRecordLength — malformed
+  /// archives fail loudly instead of being silently skipped or OOMing.
   [[nodiscard]] std::optional<Record> next();
+
+  /// Rebinds the reader to another stream (multi-archive ingestion reuses
+  /// one reader across files instead of constructing one per file).
+  void reset(std::istream& in) { in_ = &in; }
 
   /// Decodes a BGP4MP_MESSAGE(_AS4) body. Throws DecodeError if the record
   /// has a different type/subtype. `four_byte` output reports whether the
@@ -136,7 +152,15 @@ class ChunkedReader {
   /// clean EOF. Throws DecodeError on a truncated or corrupt record.
   [[nodiscard]] std::optional<std::vector<Record>> next_chunk();
 
-  /// Total records handed out so far.
+  /// Rebinds to another stream and clears the EOF latch so the same
+  /// framer (and its cumulative records_read()) serves a whole archive
+  /// directory. The chunk size is preserved.
+  void reset(std::istream& in) {
+    reader_.reset(in);
+    done_ = false;
+  }
+
+  /// Total records handed out so far (cumulative across reset()s).
   [[nodiscard]] std::size_t records_read() const { return records_read_; }
 
  private:

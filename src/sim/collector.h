@@ -4,7 +4,9 @@
 // an RFC 6396 MRT file byte-compatible with real collector output.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -48,7 +50,23 @@ class RouteCollector {
   /// step has to repair.
   void write_mrt(const std::string& path, bool extended_time = true) const;
 
+  /// Same, onto a caller-owned binary stream (in-memory archives for the
+  /// multi-source ingestion engine, sockets, …).
+  void write_mrt(std::ostream& out, bool extended_time = true) const;
+
+  /// Writes the log rotated across `files` archives (contiguous slices in
+  /// record order), the way real collectors publish 5-/15-minute dump
+  /// series. Produces `<path_prefix>.0000 … .NNNN`; returns the paths in
+  /// rotation order, ready for core::ingest_mrt_files. `files` must be
+  /// >= 1 (throws ConfigError otherwise).
+  [[nodiscard]] std::vector<std::string> write_mrt_rotated(
+      const std::string& path_prefix, std::size_t files,
+      bool extended_time = true) const;
+
  private:
+  void write_range(std::ostream& out, std::size_t begin, std::size_t end,
+                   bool extended_time) const;
+
   std::string name_;
   Asn asn_;
   IpAddress address_;

@@ -1,0 +1,302 @@
+// Adversarial MRT corpus: truncated headers, lying length fields, unknown
+// record types and subtypes, zero-length bodies, EOF mid-record, and
+// corrupt inner BGP messages. Every malformed input class must
+// deterministically raise DecodeError — from Reader, ChunkedReader, and
+// the pipelined ingest_mrt_sources/ingest_mrt_files engine (including
+// from framer and decode worker threads, with the bounded queue at
+// pathological depths) — and never hang, crash, or silently drop
+// records. Tests completing at all is the no-hang assertion; ASan/UBSan
+// CI covers the no-crash half.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/codec.h"
+#include "core/ingest.h"
+#include "mrt/mrt.h"
+#include "netbase/bytes.h"
+#include "netbase/error.h"
+
+namespace bgpcc::mrt {
+namespace {
+
+std::string bytes_to_string(const std::vector<std::uint8_t>& bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+/// Hand-assembles one MRT record with full control over every header
+/// field — including inconsistent ones no Writer would produce.
+std::string raw_record(std::uint16_t type, std::uint16_t subtype,
+                       std::uint32_t claimed_length,
+                       const std::vector<std::uint8_t>& body) {
+  ByteWriter w;
+  w.u32(1600000000);  // timestamp
+  w.u16(type);
+  w.u16(subtype);
+  w.u32(claimed_length);
+  w.bytes(body);
+  return bytes_to_string(w.data());
+}
+
+/// One well-formed BGP4MP_ET MESSAGE_AS4 record carrying a valid UPDATE.
+std::string good_record(std::uint32_t peer_asn = 65001) {
+  UpdateMessage update;
+  update.announced.push_back(Prefix::from_string("10.1.0.0/16"));
+  PathAttributes attrs;
+  attrs.as_path = AsPath::sequence({peer_asn, 65100});
+  attrs.next_hop = IpAddress::from_string("192.0.2.1");
+  update.attrs = std::move(attrs);
+
+  Bgp4mpMessage message;
+  message.peer_asn = Asn(peer_asn);
+  message.local_asn = Asn(64512);
+  message.peer_ip = IpAddress::v4(0x0a000001u);
+  message.local_ip = IpAddress::from_string("203.0.113.1");
+  message.bgp_message = encode_update(update);
+
+  std::ostringstream out;
+  Writer writer(out);
+  writer.write_message(Timestamp::from_unix_seconds(1600000000), message);
+  return out.str();
+}
+
+/// A structurally valid record whose inner BGP message is garbage: frames
+/// fine, dies on a decode worker.
+std::string corrupt_inner_record() {
+  Bgp4mpMessage message;
+  message.peer_asn = Asn(65001);
+  message.local_asn = Asn(64512);
+  message.peer_ip = IpAddress::v4(0x0a000001u);
+  message.local_ip = IpAddress::from_string("203.0.113.1");
+  message.bgp_message = std::vector<std::uint8_t>(19, 0x00);  // bad marker
+
+  std::ostringstream out;
+  Writer writer(out);
+  writer.write_message(Timestamp::from_unix_seconds(1600000000), message);
+  return out.str();
+}
+
+void expect_reader_throws(const std::string& archive) {
+  {
+    std::istringstream in(archive);
+    Reader reader(in);
+    EXPECT_THROW(
+        {
+          while (reader.next()) {
+          }
+        },
+        DecodeError);
+  }
+  {
+    std::istringstream in(archive);
+    ChunkedReader reader(in, 4);
+    EXPECT_THROW(
+        {
+          while (reader.next_chunk()) {
+          }
+        },
+        DecodeError);
+  }
+}
+
+void expect_ingest_throws(const std::string& archive) {
+  for (unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    core::IngestOptions options;
+    options.num_threads = threads;
+    options.chunk_records = 2;
+    options.queue_chunks = 2;
+    std::istringstream in(archive);
+    EXPECT_THROW((void)core::ingest_mrt_stream("C1", in, options),
+                 DecodeError);
+  }
+}
+
+void expect_all_throw(const std::string& archive) {
+  expect_reader_throws(archive);
+  expect_ingest_throws(archive);
+}
+
+TEST(MrtRobustness, TruncatedHeader) {
+  expect_all_throw(std::string("\x5f\x6a\x00", 3));
+  // 11 of the 12 header bytes: one short.
+  expect_all_throw(raw_record(16, 4, 0, {}).substr(0, 11));
+}
+
+TEST(MrtRobustness, TruncatedBodyEofMidRecord) {
+  // Header claims 100 body bytes; only 10 follow.
+  expect_all_throw(raw_record(16, 4, 100, std::vector<std::uint8_t>(10, 0)));
+  // A good record, then EOF mid-way through the next one's body.
+  std::string good = good_record();
+  expect_all_throw(good + raw_record(17, 4, 500, {0x01, 0x02}));
+  // EOF exactly mid-header of the trailing record.
+  expect_all_throw(good + good.substr(0, 7));
+}
+
+TEST(MrtRobustness, LyingLengthField) {
+  // A length field of ~4 GiB on a tiny archive must fail the sanity bound
+  // (fast, no giant allocation), not OOM or read garbage.
+  expect_all_throw(raw_record(16, 4, 0xFFFFFFF0u, {}));
+  expect_all_throw(raw_record(17, 1, kMaxRecordLength + 1, {}));
+}
+
+TEST(MrtRobustness, UnknownRecordType) {
+  // TABLE_DUMP (12) and a nonsense type: unsupported records are a hard
+  // error, never a silent skip that would under-count a collector's feed.
+  expect_all_throw(raw_record(12, 1, 4, {0, 0, 0, 0}));
+  expect_all_throw(raw_record(999, 4, 4, {0, 0, 0, 0}));
+  // After a valid prefix of the archive, so partial results can't leak.
+  expect_all_throw(good_record() + raw_record(999, 4, 0, {}));
+}
+
+TEST(MrtRobustness, UnknownBgp4mpSubtype) {
+  expect_all_throw(raw_record(16, 77, 4, {0, 0, 0, 0}));
+  expect_all_throw(good_record() +
+                   raw_record(17, 9, 8, {0, 0, 0, 0, 0, 0, 0, 0}));
+}
+
+TEST(MrtRobustness, ZeroLengthBody) {
+  // BGP4MP_ET with length 0 cannot even hold its microsecond field.
+  expect_all_throw(raw_record(17, 4, 0, {}));
+  // Plain BGP4MP MESSAGE with an empty body frames, but decoding the
+  // endpoints underruns — the ingest engine must surface that.
+  expect_ingest_throws(raw_record(16, 4, 0, {}));
+  {
+    std::istringstream in(raw_record(16, 4, 0, {}));
+    Reader reader(in);
+    auto record = reader.next();
+    ASSERT_TRUE(record.has_value());
+    EXPECT_THROW((void)Reader::parse_message(*record), DecodeError);
+  }
+}
+
+TEST(MrtRobustness, TruncatedEndpoints) {
+  // A BGP4MP message whose body ends inside the endpoint block.
+  expect_ingest_throws(raw_record(16, 4, 6, {0, 0, 0xFD, 0xE9, 0, 0}));
+  // AFI claims IPv6 but only 4 address bytes follow.
+  ByteWriter body;
+  body.u32(65001);  // peer asn
+  body.u32(64512);  // local asn
+  body.u16(0);      // ifindex
+  body.u16(2);      // AFI: IPv6
+  body.u32(0x0a000001);
+  expect_ingest_throws(raw_record(
+      16, 4, static_cast<std::uint32_t>(body.size()), body.data()));
+}
+
+// Worker-thread propagation: the corrupt record decodes on a pool worker
+// while the framer is still pushing. The abort path must unblock a framer
+// waiting on the full bounded queue — completing at all proves no
+// deadlock.
+TEST(MrtRobustness, CorruptInnerMessageOnWorkerThread) {
+  std::string archive;
+  for (int i = 0; i < 64; ++i) archive += good_record();
+  archive += corrupt_inner_record();
+  for (int i = 0; i < 64; ++i) archive += good_record();
+
+  core::IngestOptions options;
+  options.num_threads = 4;
+  options.chunk_records = 1;  // many chunks
+  options.queue_chunks = 2;   // pathologically shallow queue
+  std::istringstream in(archive);
+  EXPECT_THROW((void)core::ingest_mrt_stream("C1", in, options), DecodeError);
+}
+
+// Mirror case: the FRAMER throws mid-pipeline (truncated tail) while
+// decode workers are waiting on the queue; close/abort must release them.
+TEST(MrtRobustness, FramerThrowsMidPipeline) {
+  std::string archive;
+  for (int i = 0; i < 64; ++i) archive += good_record();
+  archive += good_record().substr(0, 20);  // truncated tail record
+
+  core::IngestOptions options;
+  options.num_threads = 4;
+  options.chunk_records = 4;
+  options.queue_chunks = 2;
+  std::istringstream in(archive);
+  EXPECT_THROW((void)core::ingest_mrt_stream("C1", in, options), DecodeError);
+}
+
+// The corrupt record as the very FIRST one of a long archive: workers die
+// immediately while framers still have hundreds of chunks to push.
+TEST(MrtRobustness, CorruptFirstRecordLongArchive) {
+  std::string archive = corrupt_inner_record();
+  for (int i = 0; i < 256; ++i) archive += good_record();
+
+  core::IngestOptions options;
+  options.num_threads = 4;
+  options.chunk_records = 1;
+  options.queue_chunks = 1;
+  std::istringstream in(archive);
+  EXPECT_THROW((void)core::ingest_mrt_stream("C1", in, options), DecodeError);
+}
+
+TEST(MrtRobustness, MultiSourceErrors) {
+  // Second of three sources is corrupt: the whole multi-archive run fails,
+  // at any thread count, with concurrent framers.
+  std::string good;
+  for (int i = 0; i < 32; ++i) good += good_record();
+  std::string bad = good + raw_record(999, 4, 0, {});
+
+  for (unsigned threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::istringstream in_a(good);
+    std::istringstream in_b(bad);
+    std::istringstream in_c(good);
+    core::IngestOptions options;
+    options.num_threads = threads;
+    options.chunk_records = 2;
+    options.frame_threads = 3;
+    options.queue_chunks = 2;
+    EXPECT_THROW((void)core::ingest_mrt_sources(
+                     {core::MrtSource{"C1", &in_a},
+                      core::MrtSource{"C2", &in_b},
+                      core::MrtSource{"C3", &in_c}},
+                     options),
+                 DecodeError);
+  }
+}
+
+TEST(MrtRobustness, MissingFileAndNullStream) {
+  EXPECT_THROW((void)core::ingest_mrt_files(
+                   "C1", {"/nonexistent/bgpcc/archive.mrt"}),
+               DecodeError);
+  EXPECT_THROW((void)core::ingest_mrt_sources(
+                   {core::MrtSource{"C1", nullptr}}),
+               ConfigError);
+}
+
+TEST(MrtRobustness, EmptyArchiveIsCleanEof) {
+  // Sanity guard for the other direction: a zero-byte archive is a valid
+  // empty feed, not an error.
+  std::istringstream in_reader((std::string()));
+  Reader reader(in_reader);
+  EXPECT_FALSE(reader.next().has_value());
+
+  std::istringstream in_ingest((std::string()));
+  core::IngestResult result = core::ingest_mrt_stream("C1", in_ingest);
+  EXPECT_EQ(result.stream.size(), 0u);
+  EXPECT_EQ(result.stats.raw_records, 0u);
+}
+
+TEST(MrtRobustness, TwoOctetWriterRejectsWideAsn) {
+  Bgp4mpMessage message;
+  message.peer_asn = Asn(200000);  // does not fit 16 bits
+  message.local_asn = Asn(64512);
+  message.peer_ip = IpAddress::v4(0x0a000001u);
+  message.local_ip = IpAddress::from_string("203.0.113.1");
+  message.bgp_message = encode_keepalive();
+
+  std::ostringstream out;
+  Writer writer(out);
+  EXPECT_THROW(writer.write_message(Timestamp::from_unix_seconds(1600000000),
+                                    message, /*extended_time=*/true,
+                                    /*as4=*/false),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace bgpcc::mrt

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON outputs and fail on throughput regression.
+
+Usage: bench_compare.py PREVIOUS.json CURRENT.json [--threshold 0.20]
+
+For every benchmark present in both files the throughput metric
+(items_per_second when reported, otherwise 1/real_time) is compared; if
+any benchmark's current throughput falls more than THRESHOLD below the
+previous run's, the script prints a table and exits 1. Benchmarks that
+appear only on one side are reported informationally and never fail the
+run. When the benchmark was run with --benchmark_repetitions, the
+"median" aggregate is used (single-shot CI runs are noisy; the median is
+the stable signal); otherwise the raw iteration entry is used.
+
+Stdlib only: runs on a bare CI runner.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_throughputs(path):
+    """benchmark name -> throughput (higher is better)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    raw = {}
+    medians = {}
+    for entry in data.get("benchmarks", []):
+        run_name = entry.get("run_name", entry.get("name", ""))
+        if not run_name:
+            continue
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") != "median":
+                continue
+            target = medians
+        else:
+            target = raw
+        if "items_per_second" in entry:
+            value = float(entry["items_per_second"])
+        elif entry.get("real_time", 0) > 0:
+            value = 1.0 / float(entry["real_time"])
+        else:
+            continue
+        # Repetitions of the same run_name: keep the median-friendly first
+        # aggregate, or average raw repetitions.
+        if target is raw and run_name in target:
+            count, mean = target[run_name]
+            target[run_name] = (count + 1, mean + (value - mean) / (count + 1))
+        else:
+            target[run_name] = (1, value)
+    merged = {name: mean for name, (_, mean) in raw.items()}
+    merged.update({name: mean for name, (_, mean) in medians.items()})
+    return merged
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated fractional throughput drop")
+    args = parser.parse_args()
+
+    previous = load_throughputs(args.previous)
+    current = load_throughputs(args.current)
+
+    regressions = []
+    rows = []
+    for name in sorted(set(previous) | set(current)):
+        if name not in previous:
+            rows.append((name, None, current[name], "new"))
+            continue
+        if name not in current:
+            rows.append((name, previous[name], None, "removed"))
+            continue
+        prev, cur = previous[name], current[name]
+        ratio = cur / prev if prev > 0 else float("inf")
+        status = "ok"
+        if ratio < 1.0 - args.threshold:
+            status = "REGRESSION"
+            regressions.append(name)
+        rows.append((name, prev, cur, "%s (%+.1f%%)" % (status,
+                                                        (ratio - 1) * 100)))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print("%-*s  %14s  %14s  %s" % (width, "benchmark", "previous",
+                                    "current", "status"))
+    for name, prev, cur, status in rows:
+        print("%-*s  %14s  %14s  %s" % (
+            width, name,
+            "-" if prev is None else "%.3g" % prev,
+            "-" if cur is None else "%.3g" % cur,
+            status))
+
+    if regressions:
+        print("\nFAIL: throughput regression > %d%% on: %s" % (
+            args.threshold * 100, ", ".join(regressions)))
+        return 1
+    print("\nOK: no benchmark regressed more than %d%%" % (
+        args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
