@@ -11,6 +11,7 @@
 #include "core/ingest.h"
 #include "core/registry.h"
 #include "mrt/mrt.h"
+#include "mrt/source.h"
 #include "rib/decision.h"
 #include "rib/trie.h"
 
@@ -207,6 +208,95 @@ void BM_IngestMrtSources(benchmark::State& state) {
   state.counters["files"] = static_cast<double>(kFiles);
 }
 BENCHMARK(BM_IngestMrtSources)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Streaming windowed ingestion over the same multi-archive workload as
+// BM_IngestMrtSources: bounded windows (arg1 raw records each) with the
+// shard-clean + merge per window and the final k-way run-merge — the
+// O(window) memory configuration for archives larger than RAM. Compared
+// against BM_IngestMrtSources this prices the windowing overhead.
+void BM_IngestMrtSourcesWindowed(benchmark::State& state) {
+  constexpr int kFiles = 8;
+  static const std::vector<std::string> archives = [] {
+    std::vector<std::string> out;
+    out.reserve(kFiles);
+    for (int f = 0; f < kFiles; ++f) {
+      out.push_back(synthetic_ingest_archive(16, 128));
+    }
+    return out;
+  }();
+  core::Registry registry;
+  for (std::uint32_t s = 0; s < 64; ++s) registry.allocate_asn(Asn(65000u + s));
+  registry.allocate_asn(Asn(3356));
+  registry.allocate_asn(Asn(174));
+  registry.allocate_prefix(Prefix::from_string("84.205.64.0/24"));
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  core::IngestOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(0));
+  options.chunk_records = 256;
+  options.cleaning = &cleaning;
+  options.window_records = static_cast<std::size_t>(state.range(1));
+  std::size_t records = 0;
+  for (auto _ : state) {
+    std::vector<std::istringstream> streams;
+    streams.reserve(archives.size());
+    for (const std::string& archive : archives) {
+      streams.emplace_back(archive);
+    }
+    core::StreamingIngestor engine(options);
+    for (std::size_t f = 0; f < streams.size(); ++f) {
+      engine.add_stream("bench" + std::to_string(f), streams[f]);
+    }
+    core::IngestResult result = engine.finish();
+    records = result.stream.size();
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+  state.counters["window"] = static_cast<double>(options.window_records);
+}
+BENCHMARK(BM_IngestMrtSourcesWindowed)
+    ->Args({1, 512})
+    ->Args({4, 512})
+    ->Args({4, 4096})
+    ->UseRealTime();
+
+// The compressed-input path: the same archive gzip-compressed once,
+// inflated transparently on every iteration — decompression cost rides
+// the framer stage, so this measures the real RouteViews/.gz workload.
+void BM_IngestMrtGzip(benchmark::State& state) {
+  if (!mrt::gzip_supported()) {
+    state.SkipWithError("bgpcc built without zlib");
+    return;
+  }
+  static const std::string archive = synthetic_ingest_archive(64, 256);
+  static const std::string compressed = mrt::gzip_compress(archive);
+  core::Registry registry;
+  for (std::uint32_t s = 0; s < 64; ++s) registry.allocate_asn(Asn(65000u + s));
+  registry.allocate_asn(Asn(3356));
+  registry.allocate_asn(Asn(174));
+  registry.allocate_prefix(Prefix::from_string("84.205.64.0/24"));
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  core::IngestOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(0));
+  options.chunk_records = 1024;
+  options.cleaning = &cleaning;
+  std::size_t records = 0;
+  for (auto _ : state) {
+    std::istringstream in(compressed);
+    core::IngestResult result = core::ingest_mrt_stream("bench", in, options);
+    records = result.stream.size();
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(archive.size()));
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+}
+BENCHMARK(BM_IngestMrtGzip)->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_DecisionCompare(benchmark::State& state) {
   Route a;

@@ -52,12 +52,14 @@ void drop_unallocated(std::vector<SeqRecord>& records,
 }
 
 std::size_t fix_second_granularity(std::vector<SeqRecord>& records,
-                                   Duration step) {
+                                   Duration step, SecondCarry* carry) {
   std::size_t adjusted = 0;
   // Keyed by the stable FNV hash map: this runs once per record on the
   // per-shard cleaning hot path, where ordered-map lookups dominated.
-  std::unordered_map<SessionKey, std::pair<std::int64_t, int>, SessionKeyHash>
-      last_second;
+  // Streaming callers pass their shard's persistent map instead, so the
+  // spacing counters survive window boundaries.
+  SecondCarry local;
+  SecondCarry& last_second = carry != nullptr ? *carry : local;
   for (SeqRecord& sr : records) {
     UpdateRecord& record = sr.record;
     // Collectors with real sub-second stamps are untouched.
@@ -78,7 +80,7 @@ std::size_t fix_second_granularity(std::vector<SeqRecord>& records,
 }
 
 CleaningReport run(std::vector<SeqRecord>& records,
-                   const CleaningOptions& options) {
+                   const CleaningOptions& options, SecondCarry* carry) {
   CleaningReport report;
   if (!options.route_servers.empty()) {
     RouteServerMap servers(options.route_servers.begin(),
@@ -94,7 +96,7 @@ CleaningReport run(std::vector<SeqRecord>& records,
   if (options.fix_second_granularity) {
     sort_seq_records(records);
     report.timestamps_adjusted =
-        fix_second_granularity(records, options.sub_second_step);
+        fix_second_granularity(records, options.sub_second_step, carry);
     sort_seq_records(records);
   }
   return report;

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/stream.h"
@@ -52,20 +54,37 @@ void drop_unallocated(std::vector<SeqRecord>& records,
                       const Registry& registry, std::size_t* dropped_asn,
                       std::size_t* dropped_prefix);
 
+/// Per-session carry-over state for the second-granularity repair: the
+/// last original second seen on each session and how many records already
+/// shared it. The streaming windowed engine (core/ingest.h) persists one
+/// of these per shard across window boundaries, so a same-second burst
+/// split by a window cut is spaced exactly as if the whole archive had
+/// been cleaned in one batch. Sound whenever each session's
+/// second-granularity timestamps are non-decreasing in arrival order —
+/// which chronological collector dumps guarantee.
+using SecondCarry =
+    std::unordered_map<SessionKey, std::pair<std::int64_t, int>,
+                       SessionKeyHash>;
+
 /// Spaces successive same-second records of one session `step` apart (§4:
 /// second-granularity collectors). Requires `records` sorted by
 /// (time, seq); returns the number of timestamps adjusted. Sessions are
 /// independent, so running this per SessionKey-shard equals running it
-/// over the whole stream.
+/// over the whole stream. `carry`, when non-null, is read and updated in
+/// place (window-boundary continuation); null keeps the state local to
+/// this call.
 std::size_t fix_second_granularity(std::vector<SeqRecord>& records,
-                                   Duration step);
+                                   Duration step,
+                                   SecondCarry* carry = nullptr);
 
 /// The full §4 pipeline over one shard (or the whole stream): route-server
 /// repair, unallocated filtering, then second-granularity timestamp repair
 /// (which sorts `records` by (time, seq) around the adjustment; with
-/// `fix_second_granularity` off the input order is preserved).
+/// `fix_second_granularity` off the input order is preserved). `carry`
+/// threads the per-session second-granularity state across windowed calls.
 CleaningReport run(std::vector<SeqRecord>& records,
-                   const CleaningOptions& options);
+                   const CleaningOptions& options,
+                   SecondCarry* carry = nullptr);
 
 }  // namespace cleaning
 }  // namespace bgpcc::core

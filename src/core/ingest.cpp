@@ -5,19 +5,26 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <istream>
 #include <iterator>
+#include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <random>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "bgp/codec.h"
 #include "core/cleaning.h"
 #include "mrt/mrt.h"
+#include "mrt/source.h"
+#include "netbase/bytes.h"
 #include "netbase/error.h"
 
 namespace bgpcc::core {
@@ -34,7 +41,9 @@ constexpr std::size_t kShards = 16;
 // arrival order of the concatenated sources, which is all the engine
 // needs: seq values never appear in the output, only their relative
 // order does. The guards below make overflow a loud DecodeError instead
-// of a silent ordering corruption.
+// of a silent ordering corruption. Windows are prefixes of the
+// (file, chunk) sequence, so seq ranges of successive windows never
+// interleave — the property the final run-merge leans on.
 constexpr unsigned kFileSeqShift = 48;
 constexpr unsigned kChunkSeqShift = 24;
 constexpr std::uint64_t kMaxFilesPerRun = std::uint64_t{1} << 16;
@@ -56,6 +65,12 @@ unsigned resolve_threads(unsigned requested) {
 
 std::size_t resolve_chunk_records(const IngestOptions& options) {
   return options.chunk_records == 0 ? 1 : options.chunk_records;
+}
+
+std::size_t resolve_queue_capacity(const IngestOptions& options,
+                                   unsigned threads) {
+  return options.queue_chunks != 0 ? options.queue_chunks
+                                   : std::max<std::size_t>(4, 2 * threads);
 }
 
 // Runs body(0..jobs-1) on `threads` workers pulling from an atomic
@@ -253,12 +268,15 @@ bool seq_only_order(const SeqRecord& a, const SeqRecord& b) {
 // padded to a power of two) over the per-shard ranges [lo, hi), moving
 // each record straight into its final slot. cmp is a strict total order
 // (seq is globally unique), so the merge — and every partitioning of it —
-// is deterministic.
+// is deterministic. Out is UpdateRecord for the batch path (seq tags are
+// spent) or SeqRecord for window runs (the final run-merge still needs
+// the tie-break).
+template <typename Out>
 void merge_partition(std::vector<std::vector<SeqRecord>>& shards,
                      const std::vector<std::size_t>& lo,
                      const std::vector<std::size_t>& hi,
                      bool (*cmp)(const SeqRecord&, const SeqRecord&),
-                     UpdateRecord* out) {
+                     Out* out) {
   constexpr std::size_t npos = static_cast<std::size_t>(-1);
   const std::size_t k = shards.size();
   struct Run {
@@ -292,7 +310,11 @@ void merge_partition(std::vector<std::vector<SeqRecord>>& shards,
   for (;;) {
     std::size_t w = m == 1 ? leaf_run(m) : node[1];
     if (w == npos) break;
-    *out++ = std::move(runs[w].cur->record);
+    if constexpr (std::is_same_v<Out, SeqRecord>) {
+      *out++ = std::move(*runs[w].cur);
+    } else {
+      *out++ = std::move(runs[w].cur->record);
+    }
     ++runs[w].cur;
     for (std::size_t i = (m + w) / 2; i >= 1; i /= 2) {
       node[i] = play(child_winner(2 * i), child_winner(2 * i + 1));
@@ -304,12 +326,13 @@ void merge_partition(std::vector<std::vector<SeqRecord>>& shards,
 // beats the parallelism it buys.
 constexpr std::size_t kMinRecordsPerMergePartition = 1024;
 
-// Phase 4 — the parallel k-way merge. Sorts each shard run (parallel over
-// shards), cuts the output into `threads` balanced partitions with
-// splitters drawn from the largest run, then tournament-merges every
-// partition concurrently into its preallocated output slice.
+// The parallel k-way merge. Sorts each shard run (parallel over shards),
+// cuts the output into `threads` balanced partitions with splitters drawn
+// from the largest run, then tournament-merges every partition
+// concurrently into its preallocated output slice.
+template <typename Out>
 void parallel_merge(std::vector<std::vector<SeqRecord>>& shards, bool by_time,
-                    unsigned threads, std::vector<UpdateRecord>& out) {
+                    unsigned threads, std::vector<Out>& out) {
   bool (*cmp)(const SeqRecord&, const SeqRecord&) =
       by_time ? &seq_time_order : &seq_only_order;
 
@@ -365,23 +388,18 @@ void parallel_merge(std::vector<std::vector<SeqRecord>>& shards, bool by_time,
   });
 }
 
-// Phases 3+4 over the decoded chunks: gather each shard in (file, chunk)
-// order, clean per shard, merge. `decoded` must already be sorted by
-// (file, chunk) — within a shard that equals arrival-sequence order, so
-// cross-file session state (route-server repair, sub-second reordering)
-// sees one continuous session history.
-void finish_engine(std::vector<DecodedChunk>& decoded,
-                   const IngestOptions& options, unsigned threads,
-                   IngestResult& result) {
-  result.stats.shards = kShards;
-  result.stats.threads = threads;
-  result.stats.chunks = decoded.size();
-  for (const DecodedChunk& chunk : decoded) {
-    result.stats.update_messages += chunk.update_messages;
-    result.stats.records += chunk.records;
-  }
-
-  std::vector<std::vector<SeqRecord>> shards(kShards);
+// Phase 3 over decoded chunks: gather each shard in (file, chunk) order —
+// within a shard that equals arrival-sequence order, so cross-file (and
+// cross-window, via `carry`) session state sees one continuous session
+// history — then clean per shard. `decoded` must already be sorted by
+// (file, chunk). Each shard is touched by exactly one job, so the carry
+// maps need no locking.
+void gather_and_clean(std::vector<DecodedChunk>& decoded,
+                      const IngestOptions& options, unsigned threads,
+                      std::vector<cleaning::SecondCarry>* carry,
+                      std::vector<std::vector<SeqRecord>>& shards,
+                      CleaningReport& report) {
+  shards.assign(kShards, {});
   std::vector<CleaningReport> reports(kShards);
   run_parallel(threads, kShards, [&](std::size_t s) {
     std::size_t total = 0;
@@ -394,17 +412,35 @@ void finish_engine(std::vector<DecodedChunk>& decoded,
     }
     if (options.cleaning != nullptr) {
       sort_seq_records(shards[s]);
-      reports[s] = cleaning::run(shards[s], *options.cleaning);
+      reports[s] = cleaning::run(shards[s], *options.cleaning,
+                                 carry != nullptr ? &(*carry)[s] : nullptr);
     }
   });
   for (const CleaningReport& r : reports) {
-    result.cleaning.dropped_unallocated_asn += r.dropped_unallocated_asn;
-    result.cleaning.dropped_unallocated_prefix += r.dropped_unallocated_prefix;
-    result.cleaning.route_server_paths_repaired +=
-        r.route_server_paths_repaired;
-    result.cleaning.timestamps_adjusted += r.timestamps_adjusted;
+    report.dropped_unallocated_asn += r.dropped_unallocated_asn;
+    report.dropped_unallocated_prefix += r.dropped_unallocated_prefix;
+    report.route_server_paths_repaired += r.route_server_paths_repaired;
+    report.timestamps_adjusted += r.timestamps_adjusted;
+  }
+}
+
+// Phases 3+4 of the batch path: gather, clean, merge straight into the
+// output stream — the single-window configuration.
+void finish_engine(std::vector<DecodedChunk>& decoded,
+                   const IngestOptions& options, unsigned threads,
+                   IngestResult& result) {
+  result.stats.shards = kShards;
+  result.stats.threads = threads;
+  result.stats.chunks = decoded.size();
+  result.stats.windows = 1;
+  for (const DecodedChunk& chunk : decoded) {
+    result.stats.update_messages += chunk.update_messages;
+    result.stats.records += chunk.records;
   }
 
+  std::vector<std::vector<SeqRecord>> shards;
+  gather_and_clean(decoded, options, threads, nullptr, shards,
+                   result.cleaning);
   parallel_merge(shards, options.sort_by_time, threads,
                  result.stream.records());
 }
@@ -417,7 +453,736 @@ void sort_decoded(std::vector<DecodedChunk>& decoded) {
             });
 }
 
+// ---------------------------------------------------------------------------
+// Spilled-run codec: one self-describing record per SeqRecord. The
+// attribute block reuses the hardened RFC 4271 wire codec (encode_update /
+// decode_update) instead of a parallel hand-rolled serializer, so a
+// spill round-trip is exactly as lossless as the MRT decode that produced
+// the record. One exception: the next hop travels out-of-band. A decoded
+// record's next_hop can disagree with its prefix family (a dual-stack
+// UPDATE's MP_REACH next hop overwrites the classic one for every
+// exploded record), and the wire codec would reject or v4-map such a
+// combination — so the spill stores the verbatim address and encodes the
+// UpdateMessage with a family-matching placeholder instead.
+
+// Spill-record flag bits.
+constexpr std::uint8_t kSpillAnnouncement = 1;  // else withdrawal
+constexpr std::uint8_t kSpillTwoOctet = 2;      // legacy AS_PATH encoding
+
+void write_exact(std::ostream& out, const std::uint8_t* data,
+                 std::size_t size) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  if (!out) throw DecodeError("spill-run write failed (stream error)");
+}
+
+void write_spill_record(std::ostream& out, const SeqRecord& sr) {
+  const UpdateRecord& record = sr.record;
+  ByteWriter w;
+  w.u64(sr.seq);
+  w.u64(static_cast<std::uint64_t>(record.time.unix_micros()));
+  const std::string& collector = record.session.collector;
+  if (collector.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw ConfigError("collector name too long to spill");
+  }
+  w.u16(static_cast<std::uint16_t>(collector.size()));
+  w.bytes({reinterpret_cast<const std::uint8_t*>(collector.data()),
+           collector.size()});
+  w.u32(record.session.peer_asn.value());
+  auto peer_ip = record.session.peer_address.bytes();
+  w.u8(static_cast<std::uint8_t>(peer_ip.size()));
+  w.bytes(peer_ip);
+  auto prefix_ip = record.prefix.address().bytes();
+  w.u8(static_cast<std::uint8_t>(prefix_ip.size()));
+  w.bytes(prefix_ip);
+  w.u8(static_cast<std::uint8_t>(record.prefix.length()));
+
+  UpdateMessage message;
+  if (record.announcement) {
+    message.announced.push_back(record.prefix);
+    message.attrs = record.attrs;
+    message.attrs->next_hop = record.prefix.address();
+  } else {
+    message.withdrawn.push_back(record.prefix);
+  }
+  std::uint8_t flags = record.announcement ? kSpillAnnouncement : 0;
+  std::vector<std::uint8_t> wire;
+  try {
+    wire = encode_update(message);
+  } catch (const DecodeError&) {
+    // Re-encoding a near-limit legacy AS_PATH at 4 bytes/ASN can push a
+    // message past the 4096-byte BGP cap. Such paths came off 2-octet
+    // sessions, so the legacy encoding both fits and is lossless; fall
+    // back to it and record the width for the reader.
+    try {
+      CodecOptions legacy;
+      legacy.four_byte_asn = false;
+      wire = encode_update(message, legacy);
+      flags |= kSpillTwoOctet;
+    } catch (const std::exception&) {
+      throw DecodeError(
+          "spill-run codec cannot represent a record (message exceeds the "
+          "4096-byte BGP cap in both AS encodings); ingest with spill_dir "
+          "unset");
+    }
+  }
+  w.u8(flags);
+  if (record.announcement) {
+    // Verbatim next hop out-of-band; the encoded message carries a
+    // placeholder of the prefix's own family (see the codec note above).
+    auto next_hop = record.attrs.next_hop.bytes();
+    w.u8(static_cast<std::uint8_t>(next_hop.size()));
+    w.bytes(next_hop);
+  }
+  w.u16(static_cast<std::uint16_t>(wire.size()));
+  w.bytes(wire);
+  write_exact(out, w.data().data(), w.size());
+}
+
+void read_spill_exact(std::istream& in, std::uint8_t* data,
+                      std::size_t size) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in.gcount()) != size) {
+    throw DecodeError("truncated spill run");
+  }
+}
+
+IpAddress read_spill_ip(std::istream& in) {
+  std::uint8_t size = 0;
+  read_spill_exact(in, &size, 1);
+  if (size != 4 && size != 16) {
+    throw DecodeError("corrupt spill run: bad address size");
+  }
+  std::uint8_t bytes[16];
+  read_spill_exact(in, bytes, size);
+  if (size == 4) return IpAddress::v4(bytes[0], bytes[1], bytes[2], bytes[3]);
+  return IpAddress::v6({bytes, 16});
+}
+
+/// Reads one record; false at clean end of run.
+bool read_spill_record(std::istream& in, SeqRecord& out) {
+  std::uint8_t head[16];
+  in.read(reinterpret_cast<char*>(head), sizeof(head));
+  if (in.gcount() == 0 && in.eof()) return false;
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(head)) {
+    throw DecodeError("truncated spill run");
+  }
+  ByteReader hr({head, sizeof(head)});
+  out.seq = hr.u64();
+  out.record.time =
+      Timestamp::from_unix_micros(static_cast<std::int64_t>(hr.u64()));
+
+  std::uint8_t len16[2];
+  read_spill_exact(in, len16, 2);
+  std::uint16_t collector_size =
+      static_cast<std::uint16_t>((len16[0] << 8) | len16[1]);
+  std::string collector(collector_size, '\0');
+  if (collector_size > 0) {
+    read_spill_exact(in, reinterpret_cast<std::uint8_t*>(collector.data()),
+                     collector_size);
+  }
+  std::uint8_t asn32[4];
+  read_spill_exact(in, asn32, 4);
+  std::uint32_t asn = (static_cast<std::uint32_t>(asn32[0]) << 24) |
+                      (static_cast<std::uint32_t>(asn32[1]) << 16) |
+                      (static_cast<std::uint32_t>(asn32[2]) << 8) |
+                      static_cast<std::uint32_t>(asn32[3]);
+  out.record.session =
+      SessionKey{std::move(collector), Asn(asn), read_spill_ip(in)};
+
+  IpAddress prefix_address = read_spill_ip(in);
+  std::uint8_t prefix_length = 0;
+  read_spill_exact(in, &prefix_length, 1);
+  out.record.prefix = Prefix(prefix_address, prefix_length);
+
+  std::uint8_t flags = 0;
+  read_spill_exact(in, &flags, 1);
+  out.record.announcement = (flags & kSpillAnnouncement) != 0;
+
+  IpAddress next_hop;
+  if (out.record.announcement) next_hop = read_spill_ip(in);
+
+  read_spill_exact(in, len16, 2);
+  std::uint16_t wire_size =
+      static_cast<std::uint16_t>((len16[0] << 8) | len16[1]);
+  std::vector<std::uint8_t> wire(wire_size);
+  read_spill_exact(in, wire.data(), wire_size);
+  CodecOptions codec;
+  codec.four_byte_asn = (flags & kSpillTwoOctet) == 0;
+  UpdateMessage message = decode_update(wire, codec);
+  if (out.record.announcement) {
+    if (!message.attrs) {
+      throw DecodeError("corrupt spill run: announcement without attributes");
+    }
+    out.record.attrs = std::move(*message.attrs);
+    out.record.attrs.next_hop = next_hop;  // replaces the placeholder
+  } else {
+    out.record.attrs = PathAttributes{};
+  }
+  return true;
+}
+
+/// Iterates one ordered run, wherever it lives.
+class RunCursor {
+ public:
+  virtual ~RunCursor() = default;
+  virtual bool next(SeqRecord& out) = 0;
+};
+
+class MemoryRunCursor final : public RunCursor {
+ public:
+  explicit MemoryRunCursor(std::vector<SeqRecord>&& run)
+      : run_(std::move(run)) {}
+  bool next(SeqRecord& out) override {
+    if (pos_ >= run_.size()) return false;
+    out = std::move(run_[pos_++]);
+    return true;
+  }
+
+ private:
+  std::vector<SeqRecord> run_;
+  std::size_t pos_ = 0;
+};
+
+class SpillRunCursor final : public RunCursor {
+ public:
+  explicit SpillRunCursor(const std::string& path)
+      : in_(path, std::ios::binary) {
+    if (!in_) throw DecodeError("cannot reopen spill run: " + path);
+  }
+  bool next(SeqRecord& out) override { return read_spill_record(in_, out); }
+
+ private:
+  std::ifstream in_;
+};
+
+/// Completed window runs: buffered in memory, or spilled to temp files
+/// under `spill_dir` so peak memory stays O(window + shards). Spill files
+/// are removed after the merge — and on destruction, for abandoned runs.
+class RunStore {
+ public:
+  explicit RunStore(std::string spill_dir)
+      : dir_(std::move(spill_dir)),
+        token_(std::random_device{}()) {}
+  ~RunStore() { discard(); }
+  RunStore(const RunStore&) = delete;
+  RunStore& operator=(const RunStore&) = delete;
+
+  void add_run(std::vector<SeqRecord>&& run) {
+    if (run.empty()) return;
+    total_records_ += run.size();
+    if (dir_.empty()) {
+      memory_.push_back(std::move(run));
+      return;
+    }
+    std::filesystem::create_directories(dir_);
+    // Random token + store address + index: several processes (and
+    // several stores in one process) can share a spill_dir without
+    // colliding, with no POSIX-only pid dependency.
+    std::string path =
+        (std::filesystem::path(dir_) /
+         ("bgpcc-run-" + std::to_string(token_) + "-" +
+          std::to_string(reinterpret_cast<std::uintptr_t>(this)) + "-" +
+          std::to_string(memory_.size() + files_.size()) + ".spill"))
+            .string();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw DecodeError("cannot create spill run: " + path);
+    for (const SeqRecord& sr : run) write_spill_record(out, sr);
+    out.flush();
+    if (!out) throw DecodeError("spill-run write failed: " + path);
+    files_.push_back(std::move(path));
+  }
+
+  [[nodiscard]] std::size_t total_records() const { return total_records_; }
+
+  /// Streams the k-way merge of every run (by `cmp` order) into `emit`,
+  /// holding one record per run in memory. Consumes the store.
+  void merge(bool by_time,
+             const std::function<void(UpdateRecord&&)>& emit) {
+    bool (*cmp)(const SeqRecord&, const SeqRecord&) =
+        by_time ? &seq_time_order : &seq_only_order;
+    std::vector<std::unique_ptr<RunCursor>> cursors;
+    cursors.reserve(memory_.size() + files_.size());
+    for (std::vector<SeqRecord>& run : memory_) {
+      cursors.push_back(std::make_unique<MemoryRunCursor>(std::move(run)));
+    }
+    for (const std::string& path : files_) {
+      cursors.push_back(std::make_unique<SpillRunCursor>(path));
+    }
+    memory_.clear();
+
+    struct HeapEntry {
+      SeqRecord record;
+      std::size_t cursor;
+    };
+    // Min-heap via inverted cmp; cmp is a strict total order (unique
+    // seq), so the merge is deterministic for any cursor order.
+    auto heap_after = [cmp](const HeapEntry& a, const HeapEntry& b) {
+      return cmp(b.record, a.record);
+    };
+    std::vector<HeapEntry> heap;
+    heap.reserve(cursors.size());
+    for (std::size_t c = 0; c < cursors.size(); ++c) {
+      SeqRecord record;
+      if (cursors[c]->next(record)) {
+        heap.push_back(HeapEntry{std::move(record), c});
+      }
+    }
+    std::make_heap(heap.begin(), heap.end(), heap_after);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_after);
+      HeapEntry entry = std::move(heap.back());
+      heap.pop_back();
+      emit(std::move(entry.record.record));
+      SeqRecord refill;
+      if (cursors[entry.cursor]->next(refill)) {
+        heap.push_back(HeapEntry{std::move(refill), entry.cursor});
+        std::push_heap(heap.begin(), heap.end(), heap_after);
+      }
+    }
+    discard();
+  }
+
+ private:
+  void discard() {
+    memory_.clear();
+    for (const std::string& path : files_) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);  // best-effort cleanup
+    }
+    files_.clear();
+  }
+
+  std::string dir_;
+  unsigned token_;
+  std::vector<std::vector<SeqRecord>> memory_;
+  std::vector<std::string> files_;
+  std::size_t total_records_ = 0;
+};
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// The streaming windowed engine. One framing cursor walks the sources in
+// add order (a window is by definition a prefix of arrival order);
+// decode, cleaning, and the merge run on the worker pool. Batch mode
+// (window_records == 0, finish() without poll()) takes the multi-framer
+// pipelined path instead — same output, whole input as one window.
+
+struct StreamingIngestor::Impl {
+  struct SourceEntry {
+    std::string collector;
+    std::istream* borrowed = nullptr;  // add_stream
+    std::string path;                  // add_file (opened lazily)
+    bool is_file = false;
+  };
+
+  explicit Impl(const IngestOptions& opts)
+      : options(opts),
+        threads(resolve_threads(opts.num_threads)),
+        chunk_records(resolve_chunk_records(opts)),
+        carry(kShards),
+        // Batch mode (window 0) holds the whole input in memory anyway,
+        // so spilling its single run would only add a full disk
+        // write+read — spill_dir is honored exactly when windows bound
+        // memory, as the header documents.
+        runs(opts.window_records == 0 ? std::string() : opts.spill_dir) {
+    stats.files = 0;
+    stats.shards = kShards;
+    stats.threads = threads;
+  }
+
+  void check_can_add() const {
+    if (finished) {
+      throw ConfigError("StreamingIngestor: add after finish()");
+    }
+    if (sources.size() + 1 >= kMaxFilesPerRun) {
+      throw ConfigError("StreamingIngestor: more than 2^16 archive sources");
+    }
+  }
+
+  /// Opens sources until one yields a bound reader; false when all input
+  /// is consumed.
+  bool ensure_reader() {
+    while (!input) {
+      if (next_source >= sources.size()) return false;
+      SourceEntry& entry = sources[next_source];
+      current_file = static_cast<std::uint32_t>(next_source);
+      ++next_source;
+      input = entry.is_file ? mrt::InputStream::open_file(entry.path)
+                            : mrt::InputStream::wrap(*entry.borrowed);
+      chunk_index = 0;
+      if (!reader) {
+        reader.emplace(input->stream(), chunk_records);
+      } else {
+        reader->reset(input->stream());
+      }
+    }
+    return true;
+  }
+
+  /// Frames up to `budget` raw records (whole chunks), feeding `sink`.
+  /// Returns the number framed; 0 means the input is exhausted. A false
+  /// sink return (queue abort) stops framing early.
+  std::size_t frame_window(std::size_t budget,
+                           const std::function<bool(FramedChunk&&)>& sink) {
+    std::size_t framed = 0;
+    while (framed < budget) {
+      if (!ensure_reader()) break;
+      std::optional<std::vector<mrt::Record>> chunk = reader->next_chunk();
+      if (!chunk) {
+        input.reset();  // EOF: advance to the next source
+        continue;
+      }
+      if (chunk_index >= kMaxChunksPerFile) {
+        throw DecodeError(
+            "arrival-sequence overflow: one archive frames past 2^24 chunks "
+            "(raise IngestOptions::chunk_records)");
+      }
+      framed += chunk->size();
+      if (!sink(FramedChunk{current_file, chunk_index++, std::move(*chunk)})) {
+        break;
+      }
+    }
+    return framed;
+  }
+
+  /// The decode-worker loop shared by the windowed and batch pipelines:
+  /// pop → decode → collect; the first error aborts the queue so no
+  /// stage can strand another. One definition, so a fix to the abort
+  /// path can never diverge between the two modes.
+  void decode_worker_loop(BoundedChunkQueue& queue, ErrorCollector& errors,
+                          std::vector<DecodedChunk>& decoded,
+                          std::mutex& decoded_mutex) {
+    for (;;) {
+      std::optional<FramedChunk> chunk = queue.pop();
+      if (!chunk) break;
+      try {
+        DecodedChunk out = decode_mrt_chunk(sources[chunk->file].collector,
+                                            std::move(*chunk));
+        std::lock_guard<std::mutex> lock(decoded_mutex);
+        decoded.push_back(std::move(out));
+      } catch (...) {
+        errors.capture();
+        queue.abort();
+        break;
+      }
+    }
+  }
+
+  /// Frames and decodes one window. `framed` reports raw records framed.
+  std::vector<DecodedChunk> decode_window(std::size_t budget,
+                                          std::size_t& framed) {
+    std::vector<DecodedChunk> decoded;
+    if (threads <= 1) {
+      framed = frame_window(budget, [&](FramedChunk&& chunk) {
+        decoded.push_back(decode_mrt_chunk(sources[chunk.file].collector,
+                                           std::move(chunk)));
+        return true;
+      });
+      return decoded;
+    }
+
+    BoundedChunkQueue queue(resolve_queue_capacity(options, threads),
+                            /*producers=*/1);
+    ErrorCollector errors;
+    std::mutex decoded_mutex;
+    std::size_t framed_count = 0;
+    auto framer = [&] {
+      try {
+        framed_count = frame_window(budget, [&](FramedChunk&& chunk) {
+          return queue.push(std::move(chunk));
+        });
+      } catch (...) {
+        errors.capture();
+        queue.abort();
+      }
+      queue.producer_done();
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(1 + threads);
+    pool.emplace_back(framer);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        decode_worker_loop(queue, errors, decoded, decoded_mutex);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    errors.rethrow();
+    framed = framed_count;
+    return decoded;
+  }
+
+  /// Processes one window end to end; false when the input is exhausted.
+  bool process_window() {
+    std::size_t budget = options.window_records == 0
+                             ? std::numeric_limits<std::size_t>::max()
+                             : options.window_records;
+    std::size_t framed = 0;
+    std::vector<DecodedChunk> decoded = decode_window(budget, framed);
+    if (framed == 0) return false;
+
+    stats.raw_records += framed;
+    stats.chunks += decoded.size();
+    for (const DecodedChunk& chunk : decoded) {
+      stats.update_messages += chunk.update_messages;
+      stats.records += chunk.records;
+    }
+
+    sort_decoded(decoded);
+    std::vector<std::vector<SeqRecord>> shards;
+    gather_and_clean(decoded, options, threads, &carry, shards,
+                     cleaning_report);
+    std::vector<SeqRecord> run;
+    parallel_merge(shards, options.sort_by_time, threads, run);
+    runs.add_run(std::move(run));
+    ++stats.windows;
+    return true;
+  }
+
+  /// The batch configuration: whole input as one window through the
+  /// multi-framer pipelined path (framing I/O overlaps decode, several
+  /// archives framed concurrently), merged straight into the stream.
+  void run_batch(IngestResult& result) {
+    // Wrap every source up front (detecting compression); files are
+    // opened here, matching the windowed path's DecodeError on a missing
+    // file.
+    std::vector<mrt::InputStream> inputs;
+    inputs.reserve(sources.size());
+    for (SourceEntry& entry : sources) {
+      inputs.push_back(entry.is_file ? mrt::InputStream::open_file(entry.path)
+                                     : mrt::InputStream::wrap(*entry.borrowed));
+    }
+
+    std::vector<DecodedChunk> decoded;
+    std::size_t raw_records = 0;
+
+    auto frame_file = [&](mrt::ChunkedReader& file_reader, std::uint32_t file,
+                          const std::function<bool(FramedChunk&&)>& sink) {
+      std::uint32_t file_chunk = 0;
+      while (auto chunk = file_reader.next_chunk()) {
+        if (file_chunk >= kMaxChunksPerFile) {
+          throw DecodeError(
+              "arrival-sequence overflow: one archive frames past 2^24 "
+              "chunks (raise IngestOptions::chunk_records)");
+        }
+        if (!sink(FramedChunk{file, file_chunk++, std::move(*chunk)})) return;
+      }
+    };
+
+    if (threads <= 1 || sources.empty()) {
+      // Inline mode: frame and decode alternate on the caller's thread,
+      // one ChunkedReader reused (reset) across every file. Nothing is
+      // buffered beyond the chunk in flight.
+      std::optional<mrt::ChunkedReader> batch_reader;
+      for (std::size_t f = 0; f < sources.size(); ++f) {
+        if (!batch_reader) {
+          batch_reader.emplace(inputs[f].stream(), chunk_records);
+        } else {
+          batch_reader->reset(inputs[f].stream());
+        }
+        frame_file(*batch_reader, static_cast<std::uint32_t>(f),
+                   [&](FramedChunk&& framed) {
+                     decoded.push_back(decode_mrt_chunk(
+                         sources[framed.file].collector, std::move(framed)));
+                     return true;
+                   });
+      }
+      if (batch_reader) raw_records = batch_reader->records_read();
+    } else {
+      // Pipelined mode: framer threads push into the bounded queue, the
+      // decode pool pops concurrently — framing I/O overlaps decode, and
+      // multiple archives are framed in parallel.
+      std::size_t framers =
+          options.frame_threads != 0
+              ? std::min<std::size_t>(options.frame_threads, sources.size())
+              : std::min<std::size_t>(
+                    {sources.size(), threads, std::size_t{4}});
+      if (framers == 0) framers = 1;
+
+      BoundedChunkQueue queue(resolve_queue_capacity(options, threads),
+                              framers);
+      ErrorCollector errors;
+      std::atomic<std::size_t> next_file{0};
+      std::atomic<std::size_t> raw_counter{0};
+      std::mutex decoded_mutex;
+
+      auto framer = [&] {
+        std::optional<mrt::ChunkedReader> file_reader;
+        try {
+          for (;;) {
+            std::size_t f = next_file.fetch_add(1, std::memory_order_relaxed);
+            if (f >= sources.size() || errors.failed()) break;
+            if (!file_reader) {
+              file_reader.emplace(inputs[f].stream(), chunk_records);
+            } else {
+              file_reader->reset(inputs[f].stream());
+            }
+            frame_file(*file_reader, static_cast<std::uint32_t>(f),
+                       [&](FramedChunk&& framed) {
+                         return queue.push(std::move(framed));
+                       });
+          }
+        } catch (...) {
+          errors.capture();
+          queue.abort();
+        }
+        if (file_reader) {
+          raw_counter.fetch_add(file_reader->records_read(),
+                                std::memory_order_relaxed);
+        }
+        queue.producer_done();
+      };
+
+      std::vector<std::thread> pool;
+      pool.reserve(framers + threads);
+      for (std::size_t t = 0; t < framers; ++t) pool.emplace_back(framer);
+      for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&] {
+          decode_worker_loop(queue, errors, decoded, decoded_mutex);
+        });
+      }
+      for (std::thread& t : pool) t.join();
+      errors.rethrow();
+      raw_records = raw_counter.load();
+    }
+
+    result.stats.raw_records = raw_records;
+    sort_decoded(decoded);
+    finish_engine(decoded, options, threads, result);
+  }
+
+  IngestResult finish(const std::function<void(UpdateRecord&&)>* sink) {
+    if (failed) {
+      // A thrown poll()/finish() has already consumed records whose
+      // window was aborted; a result assembled now would be silently
+      // incomplete. (Checked before `finished` so a failed finish()
+      // reports the poisoning, not a misleading "called twice".)
+      throw ConfigError(
+          "StreamingIngestor: finish() after a failed poll()/finish() — "
+          "the result would silently miss records");
+    }
+    if (finished) {
+      throw ConfigError("StreamingIngestor: finish() called twice");
+    }
+    finished = true;
+    try {
+      return finish_impl(sink);
+    } catch (...) {
+      failed = true;
+      throw;
+    }
+  }
+
+  IngestResult finish_impl(const std::function<void(UpdateRecord&&)>* sink) {
+    IngestResult result;
+    if (!windowed && options.window_records == 0 && sink == nullptr) {
+      run_batch(result);
+    } else {
+      while (process_window()) {
+      }
+      result.cleaning = cleaning_report;
+      result.stats = stats;
+      if (sink != nullptr) {
+        runs.merge(options.sort_by_time,
+                   [&](UpdateRecord&& record) { (*sink)(std::move(record)); });
+      } else {
+        std::vector<UpdateRecord>& out = result.stream.records();
+        out.reserve(runs.total_records());
+        runs.merge(options.sort_by_time, [&](UpdateRecord&& record) {
+          out.push_back(std::move(record));
+        });
+      }
+    }
+    result.stats.files = sources.size();
+    result.stats.shards = kShards;
+    result.stats.threads = threads;
+    // Keep the accessor truthful after a batch-mode finish too: stats()
+    // must report the completed run, not the zeros of a never-polled
+    // windowed state.
+    stats = result.stats;
+    cleaning_report = result.cleaning;
+    return result;
+  }
+
+  IngestOptions options;
+  unsigned threads;
+  std::size_t chunk_records;
+
+  std::vector<SourceEntry> sources;
+
+  // Framing cursor (persists across poll() calls; a window can pause
+  // mid-file).
+  std::size_t next_source = 0;
+  std::optional<mrt::InputStream> input;
+  std::optional<mrt::ChunkedReader> reader;
+  std::uint32_t current_file = 0;
+  std::uint32_t chunk_index = 0;
+
+  std::vector<cleaning::SecondCarry> carry;  // one per shard
+  CleaningReport cleaning_report;
+  IngestStats stats;
+  RunStore runs;
+  bool windowed = false;  // poll() was used → finish via run-merge
+  bool finished = false;
+  bool failed = false;  // a poll() threw → results would be incomplete
+};
+
+StreamingIngestor::StreamingIngestor(const IngestOptions& options)
+    : impl_(std::make_unique<Impl>(options)) {}
+
+StreamingIngestor::~StreamingIngestor() = default;
+
+void StreamingIngestor::add_stream(const std::string& collector,
+                                   std::istream& in) {
+  impl_->check_can_add();
+  Impl::SourceEntry entry;
+  entry.collector = collector;
+  entry.borrowed = &in;
+  impl_->sources.push_back(std::move(entry));
+  impl_->stats.files = impl_->sources.size();
+}
+
+void StreamingIngestor::add_file(const std::string& collector,
+                                 const std::string& path) {
+  impl_->check_can_add();
+  Impl::SourceEntry entry;
+  entry.collector = collector;
+  entry.path = path;
+  entry.is_file = true;
+  impl_->sources.push_back(std::move(entry));
+  impl_->stats.files = impl_->sources.size();
+}
+
+bool StreamingIngestor::poll() {
+  if (impl_->failed) {
+    throw ConfigError(
+        "StreamingIngestor: poll() after a failed poll()/finish()");
+  }
+  if (impl_->finished) {
+    throw ConfigError("StreamingIngestor: poll() after finish()");
+  }
+  impl_->windowed = true;
+  try {
+    return impl_->process_window();
+  } catch (...) {
+    impl_->failed = true;
+    throw;
+  }
+}
+
+IngestResult StreamingIngestor::finish() { return impl_->finish(nullptr); }
+
+IngestResult StreamingIngestor::finish(
+    const std::function<void(UpdateRecord&&)>& sink) {
+  return impl_->finish(&sink);
+}
+
+const IngestStats& StreamingIngestor::stats() const { return impl_->stats; }
+
+// ---------------------------------------------------------------------------
+// Batch entry points: thin wrappers over the streaming core.
 
 IngestResult ingest_mrt_sources(const std::vector<MrtSource>& sources,
                                 const IngestOptions& options) {
@@ -430,123 +1195,11 @@ IngestResult ingest_mrt_sources(const std::vector<MrtSource>& sources,
                         source.collector);
     }
   }
-  unsigned threads = resolve_threads(options.num_threads);
-  std::size_t chunk_records = resolve_chunk_records(options);
-
-  IngestResult result;
-  result.stats.files = sources.size();
-
-  std::vector<DecodedChunk> decoded;
-  std::size_t raw_records = 0;
-
-  auto frame_file = [&](mrt::ChunkedReader& reader, std::uint32_t file,
-                        const std::function<bool(FramedChunk&&)>& sink) {
-    std::uint32_t chunk_index = 0;
-    while (auto chunk = reader.next_chunk()) {
-      if (chunk_index >= kMaxChunksPerFile) {
-        throw DecodeError(
-            "arrival-sequence overflow: one archive frames past 2^24 chunks "
-            "(raise IngestOptions::chunk_records)");
-      }
-      if (!sink(FramedChunk{file, chunk_index++, std::move(*chunk)})) return;
-    }
-  };
-
-  if (threads <= 1 || sources.empty()) {
-    // Inline mode: frame and decode alternate on the caller's thread, one
-    // ChunkedReader reused (reset) across every file. Nothing is buffered
-    // beyond the chunk in flight.
-    std::optional<mrt::ChunkedReader> reader;
-    for (std::size_t f = 0; f < sources.size(); ++f) {
-      if (!reader) {
-        reader.emplace(*sources[f].in, chunk_records);
-      } else {
-        reader->reset(*sources[f].in);
-      }
-      frame_file(*reader, static_cast<std::uint32_t>(f),
-                 [&](FramedChunk&& framed) {
-                   decoded.push_back(decode_mrt_chunk(sources[f].collector,
-                                                      std::move(framed)));
-                   return true;
-                 });
-    }
-    if (reader) raw_records = reader->records_read();
-  } else {
-    // Pipelined mode: framer threads push into the bounded queue, the
-    // decode pool pops concurrently — framing I/O overlaps decode, and
-    // multiple archives are framed in parallel.
-    std::size_t framers =
-        options.frame_threads != 0
-            ? std::min<std::size_t>(options.frame_threads, sources.size())
-            : std::min<std::size_t>({sources.size(), threads, std::size_t{4}});
-    if (framers == 0) framers = 1;
-    std::size_t capacity = options.queue_chunks != 0
-                               ? options.queue_chunks
-                               : std::max<std::size_t>(4, 2 * threads);
-
-    BoundedChunkQueue queue(capacity, framers);
-    ErrorCollector errors;
-    std::atomic<std::size_t> next_file{0};
-    std::atomic<std::size_t> raw_counter{0};
-    std::mutex decoded_mutex;
-
-    auto framer = [&] {
-      std::optional<mrt::ChunkedReader> reader;
-      try {
-        for (;;) {
-          std::size_t f = next_file.fetch_add(1, std::memory_order_relaxed);
-          if (f >= sources.size() || errors.failed()) break;
-          if (!reader) {
-            reader.emplace(*sources[f].in, chunk_records);
-          } else {
-            reader->reset(*sources[f].in);
-          }
-          frame_file(*reader, static_cast<std::uint32_t>(f),
-                     [&](FramedChunk&& framed) {
-                       return queue.push(std::move(framed));
-                     });
-        }
-      } catch (...) {
-        errors.capture();
-        queue.abort();
-      }
-      if (reader) {
-        raw_counter.fetch_add(reader->records_read(),
-                              std::memory_order_relaxed);
-      }
-      queue.producer_done();
-    };
-
-    auto worker = [&] {
-      for (;;) {
-        std::optional<FramedChunk> framed = queue.pop();
-        if (!framed) break;
-        try {
-          DecodedChunk chunk = decode_mrt_chunk(
-              sources[framed->file].collector, std::move(*framed));
-          std::lock_guard<std::mutex> lock(decoded_mutex);
-          decoded.push_back(std::move(chunk));
-        } catch (...) {
-          errors.capture();
-          queue.abort();
-          break;
-        }
-      }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(framers + threads);
-    for (std::size_t t = 0; t < framers; ++t) pool.emplace_back(framer);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-    errors.rethrow();
-    raw_records = raw_counter.load();
+  StreamingIngestor engine(options);
+  for (const MrtSource& source : sources) {
+    engine.add_stream(source.collector, *source.in);
   }
-
-  result.stats.raw_records = raw_records;
-  sort_decoded(decoded);
-  finish_engine(decoded, options, threads, result);
-  return result;
+  return engine.finish();
 }
 
 IngestResult ingest_mrt_stream(const std::string& collector, std::istream& in,
@@ -557,25 +1210,21 @@ IngestResult ingest_mrt_stream(const std::string& collector, std::istream& in,
 IngestResult ingest_mrt_file(const std::string& collector,
                              const std::string& path,
                              const IngestOptions& options) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw DecodeError("cannot open MRT file: " + path);
-  return ingest_mrt_stream(collector, in, options);
+  StreamingIngestor engine(options);
+  engine.add_file(collector, path);
+  return engine.finish();
 }
 
 IngestResult ingest_mrt_files(
     const std::map<std::string, std::vector<std::string>>& archives,
     const IngestOptions& options) {
-  std::vector<std::unique_ptr<std::ifstream>> streams;
-  std::vector<MrtSource> sources;
+  StreamingIngestor engine(options);
   for (const auto& [collector, paths] : archives) {
     for (const std::string& path : paths) {
-      auto in = std::make_unique<std::ifstream>(path, std::ios::binary);
-      if (!*in) throw DecodeError("cannot open MRT file: " + path);
-      sources.push_back(MrtSource{collector, in.get()});
-      streams.push_back(std::move(in));
+      engine.add_file(collector, path);
     }
   }
-  return ingest_mrt_sources(sources, options);
+  return engine.finish();
 }
 
 IngestResult ingest_mrt_files(const std::string& collector,
@@ -598,7 +1247,8 @@ IngestResult ingest_collectors(
 
   // Recorded messages are already in memory, so the job list is known
   // upfront: one (collector, chunk) pair per batch, dispatched straight to
-  // the pool — no framer stage, no queue.
+  // the pool — no framer stage, no queue, and no windowing (there is no
+  // archive to bound memory against).
   struct Job {
     std::uint32_t file;
     std::uint32_t chunk;

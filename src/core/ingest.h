@@ -30,11 +30,24 @@
 // and any split of the same records across archive files yields
 // byte-identical streams, reports, and stats — stream_parallel_test and
 // ingest_differential_test assert exactly that.
+//
+// Streaming windowed mode (StreamingIngestor / window_records != 0) runs
+// the same pipeline in bounded windows: each window frames up to
+// `window_records` raw records (chunk-granular), runs shard-clean with
+// per-shard session-state carry-over, merges to one ordered run, and
+// spills or buffers it; a final incremental k-way run-merge stitches the
+// runs into the identical globally ordered record sequence — so peak
+// memory is O(window + shards), not O(archive). All inputs — files or
+// streams — pass through the transparent gzip/bz2 detection layer
+// (mrt/source.h), so `.gz`/`.bz2` RouteViews/RIS archives ingest without
+// a separate unpack step.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -67,6 +80,20 @@ struct IngestOptions {
   /// Optional §4 cleaning, applied per shard before the merge. Null skips
   /// cleaning entirely.
   const CleaningOptions* cleaning = nullptr;
+  /// Raw MRT records per streaming window (chunk-granular: a window closes
+  /// at the first chunk boundary at or past the budget). 0 processes the
+  /// whole input as one window — the batch mode, where `frame_threads`
+  /// fans archive files out over concurrent framers. Any non-zero window
+  /// frames sequentially (a window is by definition a prefix of the
+  /// arrival order) while decode, cleaning, and the merge stay parallel.
+  /// The output is byte-identical for every window size; only peak memory
+  /// changes: O(window + shards) with spilling, O(archive) without.
+  std::size_t window_records = 0;
+  /// When non-empty, completed window runs spill to temp files under this
+  /// directory (created if missing) instead of accumulating in memory —
+  /// the archives-larger-than-RAM configuration. Ignored in batch mode
+  /// (window_records == 0), which never materializes runs.
+  std::string spill_dir;
 };
 
 /// Observability counters for one ingestion run. The counting fields
@@ -82,6 +109,10 @@ struct IngestStats {
   std::size_t records = 0;        ///< exploded per-prefix records (pre-clean)
   std::size_t shards = 0;         ///< SessionKey-hash shards used
   unsigned threads = 0;           ///< resolved worker count
+  /// Window runs produced (1 in batch mode). Like `threads`/`shards` this
+  /// reflects the engine configuration, not the input, and is excluded
+  /// from the deterministic-output contract.
+  std::size_t windows = 0;
 };
 
 struct IngestResult {
@@ -90,8 +121,70 @@ struct IngestResult {
   IngestStats stats;
 };
 
+/// The streaming windowed ingestion engine. Usage:
+///
+///   StreamingIngestor ingestor(options);          // begin
+///   ingestor.add_file("rrc00", "updates.gz");     //   (inputs, in order)
+///   while (ingestor.poll()) { /* progress, stats() */ }   // optional
+///   IngestResult r = ingestor.finish();           // drain + run-merge
+///
+/// poll() processes exactly one window; finish() drains whatever remains
+/// and merges every run into the final globally ordered stream, so
+/// `finish()` alone (no poll loop) is equivalent. The callback-sink
+/// overload emits records in final order without materializing the
+/// stream. The batch entry points below are thin wrappers over this
+/// class with window_records == 0 (one window = whole input).
+///
+/// Inputs are framed in add order; compressed (.gz/.bz2) files and
+/// streams are detected by magic bytes and inflated transparently.
+/// Windowed cleaning carries per-session second-granularity state across
+/// window cuts, which reproduces batch output exactly whenever each
+/// session's second-granularity timestamps are non-decreasing in arrival
+/// order — the shape chronological collector archives guarantee.
+class StreamingIngestor {
+ public:
+  explicit StreamingIngestor(const IngestOptions& options = {});
+  ~StreamingIngestor();
+  StreamingIngestor(const StreamingIngestor&) = delete;
+  StreamingIngestor& operator=(const StreamingIngestor&) = delete;
+
+  /// Registers a caller-owned archive stream (must outlive the ingestor).
+  /// Throws ConfigError on a null-ish use or more than 2^16 sources.
+  void add_stream(const std::string& collector, std::istream& in);
+  /// Registers an archive file. In windowed mode (window_records != 0,
+  /// or any poll()/sink use) files are opened lazily as framing reaches
+  /// them, so a directory of thousands of dumps holds O(1) descriptors
+  /// open; the batch path (window_records == 0) opens every source up
+  /// front because its framers walk files concurrently.
+  void add_file(const std::string& collector, const std::string& path);
+
+  /// Processes the next window (frame → decode → shard-clean → sorted
+  /// run). Returns false when the input is exhausted. Throws DecodeError
+  /// on corrupt input, also from worker threads; after a throw the
+  /// ingestor is poisoned (records of the aborted window are already
+  /// consumed), so further poll()/finish() calls raise ConfigError
+  /// instead of returning a silently incomplete result.
+  bool poll();
+
+  /// Drains remaining windows and merges all runs into the final stream.
+  /// Call at most once; the ingestor is spent afterwards.
+  [[nodiscard]] IngestResult finish();
+  /// Same, but emits each record (in final order) to `sink` instead of
+  /// materializing the stream — the returned result's stream is empty.
+  [[nodiscard]] IngestResult finish(
+      const std::function<void(UpdateRecord&&)>& sink);
+
+  /// Progress so far: counters cover every window processed to date.
+  [[nodiscard]] const IngestStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Ingests an MRT file (BGP4MP message records). `collector` names the
-/// archive's origin for the session keys. Throws DecodeError on corrupt
+/// archive's origin for the session keys. Gzip/bzip2 archives are
+/// detected and inflated transparently. Throws DecodeError on corrupt
 /// input — also from framer and decode worker threads.
 [[nodiscard]] IngestResult ingest_mrt_file(const std::string& collector,
                                            const std::string& path,

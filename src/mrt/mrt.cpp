@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 
+#include "mrt/source.h"
 #include "netbase/bytes.h"
 #include "netbase/error.h"
 
@@ -261,9 +262,10 @@ std::optional<std::vector<Record>> ChunkedReader::next_chunk() {
 }
 
 std::vector<TimedMessage> read_all_messages(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw DecodeError("cannot open MRT file: " + path);
-  Reader reader(in);
+  // Transparent gzip/bz2 support: the decompression layer sniffs the
+  // magic bytes and inflates as needed (mrt/source.h).
+  InputStream input = InputStream::open_file(path);
+  Reader reader(input.stream());
   std::vector<TimedMessage> out;
   while (auto record = reader.next()) {
     if (!record->is_bgp4mp()) continue;

@@ -170,7 +170,8 @@ class ChunkedReader {
   bool done_ = false;
 };
 
-/// Convenience: reads every BGP4MP message record from an MRT file.
+/// Convenience: reads every BGP4MP message record from an MRT file —
+/// transparently inflating gzip/bzip2 archives (mrt/source.h).
 /// Returns (timestamp, message, four_byte_asn) triples in file order.
 struct TimedMessage {
   Timestamp timestamp;

@@ -1,0 +1,448 @@
+#include "mrt/source.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <utility>
+
+#include "netbase/error.h"
+
+#if BGPCC_HAVE_ZLIB
+#include <zlib.h>
+#endif
+#if BGPCC_HAVE_BZIP2
+#include <bzlib.h>
+#endif
+
+namespace bgpcc::mrt {
+namespace {
+
+constexpr std::size_t kDecompressInputBuffer = 64 * 1024;
+
+/// Replays a sniffed prefix before handing reads through to the wrapped
+/// source — how the magic bytes consumed by detection get back into the
+/// stream without requiring seekable input.
+class PrefixedSource final : public Source {
+ public:
+  PrefixedSource(std::vector<std::uint8_t> prefix, std::unique_ptr<Source> next)
+      : prefix_(std::move(prefix)), next_(std::move(next)) {}
+
+  std::size_t read(std::uint8_t* out, std::size_t max) override {
+    if (pos_ < prefix_.size()) {
+      std::size_t n = std::min(max, prefix_.size() - pos_);
+      std::memcpy(out, prefix_.data() + pos_, n);
+      pos_ += n;
+      return n;
+    }
+    return next_->read(out, max);
+  }
+
+ private:
+  std::vector<std::uint8_t> prefix_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<Source> next_;
+};
+
+#if BGPCC_HAVE_ZLIB
+
+/// zlib inflate over a Source. windowBits 15+32 auto-detects the gzip vs
+/// raw-zlib header; concatenated gzip members (pigz, `cat a.gz b.gz`) are
+/// handled by resetting the inflater at each member end, matching what
+/// gunzip does. Input ending mid-member is a DecodeError — a truncated
+/// mirror download must never pass for a short archive.
+class GzipSource final : public Source {
+ public:
+  explicit GzipSource(std::unique_ptr<Source> raw)
+      : raw_(std::move(raw)), in_buf_(kDecompressInputBuffer) {
+    stream_.zalloc = nullptr;
+    stream_.zfree = nullptr;
+    stream_.opaque = nullptr;
+    stream_.next_in = nullptr;
+    stream_.avail_in = 0;
+    if (inflateInit2(&stream_, 15 + 32) != Z_OK) {
+      throw DecodeError("gzip: inflateInit2 failed");
+    }
+    initialized_ = true;
+  }
+
+  ~GzipSource() override {
+    if (initialized_) inflateEnd(&stream_);
+  }
+
+  std::size_t read(std::uint8_t* out, std::size_t max) override {
+    if (max == 0 || finished_) return 0;
+    // avail_out is 32-bit: clamp the request and report against the
+    // clamped amount, so a >4GiB read returns the bytes actually
+    // produced (the caller simply loops).
+    std::size_t want =
+        std::min<std::size_t>(max, std::numeric_limits<uInt>::max());
+    stream_.next_out = out;
+    stream_.avail_out = static_cast<uInt>(want);
+    while (stream_.avail_out > 0) {
+      if (stream_.avail_in == 0) {
+        std::size_t got = raw_->read(in_buf_.data(), in_buf_.size());
+        if (got == 0) {
+          if (mid_member_) {
+            throw DecodeError("truncated gzip stream (EOF mid-member)");
+          }
+          finished_ = true;
+          break;
+        }
+        stream_.next_in = in_buf_.data();
+        stream_.avail_in = static_cast<uInt>(got);
+      }
+      int rc = inflate(&stream_, Z_NO_FLUSH);
+      if (rc == Z_STREAM_END) {
+        mid_member_ = false;
+        // More input (buffered or upstream) means another member follows.
+        if (stream_.avail_in == 0) {
+          std::size_t got = raw_->read(in_buf_.data(), in_buf_.size());
+          if (got == 0) {
+            finished_ = true;
+            break;
+          }
+          stream_.next_in = in_buf_.data();
+          stream_.avail_in = static_cast<uInt>(got);
+        }
+        if (inflateReset(&stream_) != Z_OK) {
+          throw DecodeError("gzip: inflateReset failed between members");
+        }
+        continue;
+      }
+      if (rc != Z_OK && rc != Z_BUF_ERROR) {
+        throw DecodeError(std::string("corrupt gzip stream: ") +
+                          (stream_.msg != nullptr ? stream_.msg
+                                                  : zError(rc)));
+      }
+      mid_member_ = true;
+    }
+    return want - stream_.avail_out;
+  }
+
+ private:
+  std::unique_ptr<Source> raw_;
+  std::vector<std::uint8_t> in_buf_;
+  z_stream stream_{};
+  bool initialized_ = false;
+  bool mid_member_ = false;
+  bool finished_ = false;
+};
+
+#endif  // BGPCC_HAVE_ZLIB
+
+#if BGPCC_HAVE_BZIP2
+
+/// libbz2 decompression over a Source, with the same multi-stream and
+/// truncation semantics as GzipSource (bzip2 files are commonly produced
+/// as concatenated streams by pbzip2).
+class Bzip2Source final : public Source {
+ public:
+  explicit Bzip2Source(std::unique_ptr<Source> raw)
+      : raw_(std::move(raw)), in_buf_(kDecompressInputBuffer) {
+    init_stream();
+  }
+
+  ~Bzip2Source() override {
+    if (initialized_) BZ2_bzDecompressEnd(&stream_);
+  }
+
+  std::size_t read(std::uint8_t* out, std::size_t max) override {
+    if (max == 0 || finished_) return 0;
+    std::size_t want =
+        std::min<std::size_t>(max, std::numeric_limits<unsigned>::max());
+    stream_.next_out = reinterpret_cast<char*>(out);
+    stream_.avail_out = static_cast<unsigned>(want);
+    while (stream_.avail_out > 0) {
+      if (stream_.avail_in == 0) {
+        std::size_t got = raw_->read(in_buf_.data(), in_buf_.size());
+        if (got == 0) {
+          if (mid_stream_) {
+            throw DecodeError("truncated bzip2 stream (EOF mid-stream)");
+          }
+          finished_ = true;
+          break;
+        }
+        stream_.next_in = reinterpret_cast<char*>(in_buf_.data());
+        stream_.avail_in = static_cast<unsigned>(got);
+      }
+      int rc = BZ2_bzDecompress(&stream_);
+      if (rc == BZ_STREAM_END) {
+        mid_stream_ = false;
+        if (stream_.avail_in == 0) {
+          std::size_t got = raw_->read(in_buf_.data(), in_buf_.size());
+          if (got == 0) {
+            finished_ = true;
+            break;
+          }
+          stream_.next_in = reinterpret_cast<char*>(in_buf_.data());
+          stream_.avail_in = static_cast<unsigned>(got);
+        }
+        // Re-init for the next concatenated stream, carrying the unread
+        // input across the reset.
+        char* pending_in = stream_.next_in;
+        unsigned pending_avail = stream_.avail_in;
+        char* pending_out = stream_.next_out;
+        unsigned pending_out_avail = stream_.avail_out;
+        BZ2_bzDecompressEnd(&stream_);
+        initialized_ = false;
+        init_stream();
+        stream_.next_in = pending_in;
+        stream_.avail_in = pending_avail;
+        stream_.next_out = pending_out;
+        stream_.avail_out = pending_out_avail;
+        continue;
+      }
+      if (rc != BZ_OK) {
+        throw DecodeError("corrupt bzip2 stream (BZ2_bzDecompress rc " +
+                          std::to_string(rc) + ")");
+      }
+      mid_stream_ = true;
+    }
+    return want - stream_.avail_out;
+  }
+
+ private:
+  void init_stream() {
+    stream_.bzalloc = nullptr;
+    stream_.bzfree = nullptr;
+    stream_.opaque = nullptr;
+    stream_.next_in = nullptr;
+    stream_.avail_in = 0;
+    if (BZ2_bzDecompressInit(&stream_, /*verbosity=*/0, /*small=*/0) !=
+        BZ_OK) {
+      throw DecodeError("bzip2: BZ2_bzDecompressInit failed");
+    }
+    initialized_ = true;
+  }
+
+  std::unique_ptr<Source> raw_;
+  std::vector<std::uint8_t> in_buf_;
+  bz_stream stream_{};
+  bool initialized_ = false;
+  bool mid_stream_ = false;
+  bool finished_ = false;
+};
+
+#endif  // BGPCC_HAVE_BZIP2
+
+}  // namespace
+
+std::size_t IstreamSource::read(std::uint8_t* out, std::size_t max) {
+  if (max == 0) return 0;
+  in_->read(reinterpret_cast<char*>(out),
+            static_cast<std::streamsize>(max));
+  std::streamsize got = in_->gcount();
+  if (got == 0 && !in_->eof() && in_->fail()) {
+    throw DecodeError("input stream read failed");
+  }
+  return static_cast<std::size_t>(got);
+}
+
+std::string to_string(Compression compression) {
+  switch (compression) {
+    case Compression::kNone:
+      return "none";
+    case Compression::kGzip:
+      return "gzip";
+    case Compression::kBzip2:
+      return "bzip2";
+  }
+  return "unknown";
+}
+
+std::string compression_suffix(Compression compression) {
+  switch (compression) {
+    case Compression::kNone:
+      return "";
+    case Compression::kGzip:
+      return ".gz";
+    case Compression::kBzip2:
+      return ".bz2";
+  }
+  return "";
+}
+
+Compression detect_compression(const std::uint8_t* data, std::size_t size) {
+  if (size >= 2 && data[0] == 0x1f && data[1] == 0x8b) {
+    return Compression::kGzip;
+  }
+  if (size >= 4 && data[0] == 'B' && data[1] == 'Z' && data[2] == 'h' &&
+      data[3] >= '1' && data[3] <= '9') {
+    return Compression::kBzip2;
+  }
+  return Compression::kNone;
+}
+
+bool gzip_supported() {
+#if BGPCC_HAVE_ZLIB
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool bzip2_supported() {
+#if BGPCC_HAVE_BZIP2
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<Source> make_decompressing_source(std::unique_ptr<Source> raw,
+                                                  Compression* detected) {
+  // Sniff up to 4 bytes (enough for both magics), then replay them.
+  std::vector<std::uint8_t> head;
+  head.reserve(4);
+  while (head.size() < 4) {
+    std::uint8_t byte = 0;
+    if (raw->read(&byte, 1) == 0) break;
+    head.push_back(byte);
+  }
+  Compression compression = detect_compression(head.data(), head.size());
+  if (detected != nullptr) *detected = compression;
+  auto replayed =
+      std::make_unique<PrefixedSource>(std::move(head), std::move(raw));
+  switch (compression) {
+    case Compression::kGzip:
+#if BGPCC_HAVE_ZLIB
+      return std::make_unique<GzipSource>(std::move(replayed));
+#else
+      throw DecodeError("gzip-compressed input, but bgpcc was built "
+                        "without zlib");
+#endif
+    case Compression::kBzip2:
+#if BGPCC_HAVE_BZIP2
+      return std::make_unique<Bzip2Source>(std::move(replayed));
+#else
+      throw DecodeError("bzip2-compressed input, but bgpcc was built "
+                        "without libbz2");
+#endif
+    case Compression::kNone:
+      break;
+  }
+  return replayed;
+}
+
+SourceBuf::SourceBuf(Source& source, std::size_t buffer_bytes)
+    : source_(&source), buffer_(buffer_bytes == 0 ? 1 : buffer_bytes) {
+  setg(buffer_.data(), buffer_.data(), buffer_.data());
+}
+
+SourceBuf::int_type SourceBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  std::size_t got = source_->read(
+      reinterpret_cast<std::uint8_t*>(buffer_.data()), buffer_.size());
+  if (got == 0) return traits_type::eof();
+  setg(buffer_.data(), buffer_.data(), buffer_.data() + got);
+  return traits_type::to_int_type(*gptr());
+}
+
+InputStream InputStream::open_file(const std::string& path) {
+  auto file = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*file) throw DecodeError("cannot open MRT file: " + path);
+  InputStream input;
+  input.bottom_ = std::make_unique<IstreamSource>(*file);
+  input.file_ = std::move(file);
+  input.chain_ =
+      make_decompressing_source(std::move(input.bottom_), &input.compression_);
+  input.buf_ = std::make_unique<SourceBuf>(*input.chain_);
+  input.stream_ = std::make_unique<std::istream>(input.buf_.get());
+  // A DecodeError thrown by the decompressor inside underflow() would be
+  // swallowed by default istream semantics (badbit set, exception eaten);
+  // enabling badbit exceptions rethrows the ORIGINAL exception, so
+  // "truncated gzip stream" surfaces instead of a generic read failure.
+  input.stream_->exceptions(std::ios::badbit);
+  return input;
+}
+
+InputStream InputStream::wrap(std::istream& in) {
+  InputStream input;
+  input.bottom_ = std::make_unique<IstreamSource>(in);
+  input.chain_ =
+      make_decompressing_source(std::move(input.bottom_), &input.compression_);
+  input.buf_ = std::make_unique<SourceBuf>(*input.chain_);
+  input.stream_ = std::make_unique<std::istream>(input.buf_.get());
+  input.stream_->exceptions(std::ios::badbit);
+  return input;
+}
+
+std::string gzip_compress(std::string_view data, int level) {
+#if BGPCC_HAVE_ZLIB
+  z_stream stream{};
+  // windowBits 15+16 selects a gzip (not zlib) wrapper.
+  if (deflateInit2(&stream, level, Z_DEFLATED, 15 + 16, 8,
+                   Z_DEFAULT_STRATEGY) != Z_OK) {
+    throw DecodeError("gzip: deflateInit2 failed");
+  }
+  std::string out;
+  std::vector<std::uint8_t> buf(kDecompressInputBuffer);
+  stream.next_in =
+      reinterpret_cast<Bytef*>(const_cast<char*>(data.data()));
+  stream.avail_in = static_cast<uInt>(data.size());
+  int rc = Z_OK;
+  do {
+    stream.next_out = buf.data();
+    stream.avail_out = static_cast<uInt>(buf.size());
+    rc = deflate(&stream, Z_FINISH);
+    if (rc != Z_OK && rc != Z_STREAM_END && rc != Z_BUF_ERROR) {
+      deflateEnd(&stream);
+      throw DecodeError("gzip: deflate failed");
+    }
+    out.append(reinterpret_cast<const char*>(buf.data()),
+               buf.size() - stream.avail_out);
+  } while (rc != Z_STREAM_END);
+  deflateEnd(&stream);
+  return out;
+#else
+  (void)data;
+  (void)level;
+  throw DecodeError("gzip_compress: bgpcc was built without zlib");
+#endif
+}
+
+std::string bzip2_compress(std::string_view data, int block_size_100k) {
+#if BGPCC_HAVE_BZIP2
+  bz_stream stream{};
+  if (BZ2_bzCompressInit(&stream, block_size_100k, /*verbosity=*/0,
+                         /*workFactor=*/0) != BZ_OK) {
+    throw DecodeError("bzip2: BZ2_bzCompressInit failed");
+  }
+  std::string out;
+  std::vector<char> buf(kDecompressInputBuffer);
+  stream.next_in = const_cast<char*>(data.data());
+  stream.avail_in = static_cast<unsigned>(data.size());
+  int rc = BZ_RUN_OK;
+  do {
+    stream.next_out = buf.data();
+    stream.avail_out = static_cast<unsigned>(buf.size());
+    rc = BZ2_bzCompress(&stream, BZ_FINISH);
+    if (rc != BZ_FINISH_OK && rc != BZ_STREAM_END) {
+      BZ2_bzCompressEnd(&stream);
+      throw DecodeError("bzip2: BZ2_bzCompress failed");
+    }
+    out.append(buf.data(), buf.size() - stream.avail_out);
+  } while (rc != BZ_STREAM_END);
+  BZ2_bzCompressEnd(&stream);
+  return out;
+#else
+  (void)data;
+  (void)block_size_100k;
+  throw DecodeError("bzip2_compress: bgpcc was built without libbz2");
+#endif
+}
+
+std::string compress(std::string_view data, Compression compression) {
+  switch (compression) {
+    case Compression::kNone:
+      return std::string(data);
+    case Compression::kGzip:
+      return gzip_compress(data);
+    case Compression::kBzip2:
+      return bzip2_compress(data);
+  }
+  throw ConfigError("unknown compression format");
+}
+
+}  // namespace bgpcc::mrt

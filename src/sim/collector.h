@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bgp/message.h"
+#include "mrt/source.h"
 #include "netbase/timeutil.h"
 
 namespace bgpcc::sim {
@@ -47,25 +48,35 @@ class RouteCollector {
 
   /// Writes the full log as BGP4MP(_ET) records. `extended_time` false
   /// models the second-granularity collectors the paper's §4 cleaning
-  /// step has to repair.
-  void write_mrt(const std::string& path, bool extended_time = true) const;
+  /// step has to repair. `compression` gzip/bzip2-compresses the archive
+  /// the way RouteViews/RIS publish theirs (the ingestion engine
+  /// autodetects and inflates transparently).
+  void write_mrt(const std::string& path, bool extended_time = true,
+                 mrt::Compression compression = mrt::Compression::kNone) const;
 
   /// Same, onto a caller-owned binary stream (in-memory archives for the
   /// multi-source ingestion engine, sockets, …).
-  void write_mrt(std::ostream& out, bool extended_time = true) const;
+  void write_mrt(std::ostream& out, bool extended_time = true,
+                 mrt::Compression compression = mrt::Compression::kNone) const;
 
   /// Writes the log rotated across `files` archives (contiguous slices in
   /// record order), the way real collectors publish 5-/15-minute dump
-  /// series. Produces `<path_prefix>.0000 … .NNNN`; returns the paths in
+  /// series. Produces `<path_prefix>.0000 … .NNNN` (with the conventional
+  /// `.gz`/`.bz2` suffix appended when compressed); returns the paths in
   /// rotation order, ready for core::ingest_mrt_files. `files` must be
   /// >= 1 (throws ConfigError otherwise).
   [[nodiscard]] std::vector<std::string> write_mrt_rotated(
       const std::string& path_prefix, std::size_t files,
-      bool extended_time = true) const;
+      bool extended_time = true,
+      mrt::Compression compression = mrt::Compression::kNone) const;
 
  private:
   void write_range(std::ostream& out, std::size_t begin, std::size_t end,
                    bool extended_time) const;
+  /// The single staging point for compressed output: writes the record
+  /// slice, optionally through an in-memory compress step.
+  void write_slice(std::ostream& out, std::size_t begin, std::size_t end,
+                   bool extended_time, mrt::Compression compression) const;
 
   std::string name_;
   Asn asn_;

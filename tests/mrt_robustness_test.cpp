@@ -17,6 +17,7 @@
 #include "bgp/codec.h"
 #include "core/ingest.h"
 #include "mrt/mrt.h"
+#include "mrt/source.h"
 #include "netbase/bytes.h"
 #include "netbase/error.h"
 
@@ -113,6 +114,37 @@ void expect_ingest_throws(const std::string& archive) {
     EXPECT_THROW((void)core::ingest_mrt_stream("C1", in, options),
                  DecodeError);
   }
+}
+
+/// Like expect_reader_throws, but through the transparent decompression
+/// layer — so the DecodeError comes from the gzip/bzip2 stage (or from
+/// the MRT layer validating the INFLATED bytes), not from the raw reader
+/// misparsing compressed bytes as a record header.
+void expect_decompressed_throws(const std::string& archive) {
+  {
+    std::istringstream in(archive);
+    InputStream input = InputStream::wrap(in);
+    Reader reader(input.stream());
+    EXPECT_THROW(
+        {
+          while (reader.next()) {
+          }
+        },
+        DecodeError);
+  }
+  {
+    std::istringstream in(archive);
+    InputStream input = InputStream::wrap(in);
+    ChunkedReader reader(input.stream(), 4);
+    EXPECT_THROW(
+        {
+          while (reader.next_chunk()) {
+          }
+        },
+        DecodeError);
+  }
+  // The engine runs its own detection on every source.
+  expect_ingest_throws(archive);
 }
 
 void expect_all_throw(const std::string& archive) {
@@ -280,6 +312,80 @@ TEST(MrtRobustness, EmptyArchiveIsCleanEof) {
   core::IngestResult result = core::ingest_mrt_stream("C1", in_ingest);
   EXPECT_EQ(result.stream.size(), 0u);
   EXPECT_EQ(result.stats.raw_records, 0u);
+}
+
+// Compressed-input robustness: a truncated or corrupt gzip/bzip2 archive
+// must raise DecodeError from the decompression stage — through the
+// Reader, the ChunkedReader, and the pipelined engine (no hang on the
+// bounded queue, no partial silent results).
+TEST(MrtRobustness, TruncatedGzipStream) {
+  if (!gzip_supported()) GTEST_SKIP() << "built without zlib";
+  std::string archive;
+  for (int i = 0; i < 16; ++i) archive += good_record();
+  std::string gz = gzip_compress(archive);
+  ASSERT_GT(gz.size(), 24u);
+  // Cut inside the deflate payload and inside the 8-byte CRC/size
+  // trailer: both are mid-member EOFs.
+  expect_decompressed_throws(gz.substr(0, gz.size() / 2));
+  expect_decompressed_throws(gz.substr(0, gz.size() - 4));
+}
+
+TEST(MrtRobustness, TruncatedBzip2Stream) {
+  if (!bzip2_supported()) GTEST_SKIP() << "built without libbz2";
+  std::string archive;
+  for (int i = 0; i < 16; ++i) archive += good_record();
+  std::string bz2 = bzip2_compress(archive);
+  ASSERT_GT(bz2.size(), 12u);
+  expect_decompressed_throws(bz2.substr(0, bz2.size() / 2));
+  expect_decompressed_throws(bz2.substr(0, bz2.size() - 2));
+}
+
+TEST(MrtRobustness, GarbageAfterCompressionMagic) {
+  if (!gzip_supported() || !bzip2_supported()) {
+    GTEST_SKIP() << "built without zlib/libbz2";
+  }
+  // A valid magic followed by noise: the decompressor itself must reject
+  // it (gzip: bad header CRC/flags or deflate stream; bzip2: bad block).
+  std::string gz_garbage("\x1f\x8b", 2);
+  gz_garbage += std::string(64, '\x55');
+  expect_decompressed_throws(gz_garbage);
+
+  std::string bz2_garbage("BZh9", 4);
+  bz2_garbage += std::string(64, '\x55');
+  expect_decompressed_throws(bz2_garbage);
+}
+
+TEST(MrtRobustness, CompressedGarbagePayload) {
+  if (!gzip_supported()) GTEST_SKIP() << "built without zlib";
+  // Valid gzip wrapping that inflates fine — into bytes that are not MRT.
+  // The failure must come from the MRT layer, proving the decompressed
+  // bytes actually flow through the same validation.
+  std::string garbage = gzip_compress(std::string(64, '\x7f'));
+  expect_decompressed_throws(garbage);
+  // And a compressed archive whose decompressed tail is truncated.
+  std::string archive;
+  for (int i = 0; i < 8; ++i) archive += good_record();
+  expect_decompressed_throws(
+      gzip_compress(archive.substr(0, archive.size() - 5)));
+}
+
+TEST(MrtRobustness, TruncatedGzipOnWorkerPipeline) {
+  if (!gzip_supported()) GTEST_SKIP() << "built without zlib";
+  // Long compressed archive with a truncated tail at pathological queue
+  // depth: the framer throws mid-decompression while workers are busy —
+  // completing at all proves the abort path also covers the
+  // decompression stage.
+  std::string archive;
+  for (int i = 0; i < 256; ++i) archive += good_record();
+  std::string gz = gzip_compress(archive);
+  std::string truncated = gz.substr(0, gz.size() - 6);
+
+  core::IngestOptions options;
+  options.num_threads = 4;
+  options.chunk_records = 1;
+  options.queue_chunks = 1;
+  std::istringstream in(truncated);
+  EXPECT_THROW((void)core::ingest_mrt_stream("C1", in, options), DecodeError);
 }
 
 TEST(MrtRobustness, TwoOctetWriterRejectsWideAsn) {

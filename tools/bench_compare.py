@@ -1,16 +1,32 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON outputs and fail on throughput regression.
+"""Compare google-benchmark JSON outputs and track a benchmark trajectory.
 
-Usage: bench_compare.py PREVIOUS.json CURRENT.json [--threshold 0.20]
+Compare mode (the CI perf gate):
 
-For every benchmark present in both files the throughput metric
+    bench_compare.py PREVIOUS.json CURRENT.json [--threshold 0.20]
+
+For every benchmark present in BOTH files the throughput metric
 (items_per_second when reported, otherwise 1/real_time) is compared; if
 any benchmark's current throughput falls more than THRESHOLD below the
 previous run's, the script prints a table and exits 1. Benchmarks that
-appear only on one side are reported informationally and never fail the
-run. When the benchmark was run with --benchmark_repetitions, the
-"median" aggregate is used (single-shot CI runs are noisy; the median is
-the stable signal); otherwise the raw iteration entry is used.
+appear on only one side (added or removed between commits) are warned
+about on stderr and never fail the run — the gate compares exactly the
+intersection, so renaming or adding a benchmark cannot KeyError the CI
+job. An unreadable or malformed PREVIOUS file is likewise a warning, not
+a crash: the gate degrades to "nothing to compare against" exactly as on
+the very first run.
+
+Trajectory mode (per-commit throughput history):
+
+    bench_compare.py CURRENT.json --append-trajectory BENCH_trajectory.json \
+        --commit SHA --date ISO8601 [--max-entries 500]
+
+Appends one entry {commit, date, benchmarks: {name: median_throughput}}
+to the rolling trajectory file (created if missing; a corrupt existing
+file is warned about and restarted rather than crashing the job). CI
+uploads the file as an artifact and re-downloads it next run, so the
+full per-commit median history accumulates instead of only
+last-vs-current surviving.
 
 Stdlib only: runs on a bare CI runner.
 """
@@ -20,13 +36,35 @@ import json
 import sys
 
 
-def load_throughputs(path):
-    """benchmark name -> throughput (higher is better)."""
-    with open(path) as fh:
-        data = json.load(fh)
+def warn(message):
+    print("bench_compare: warning: %s" % message, file=sys.stderr)
+
+
+def load_throughputs(path, *, missing_ok=False):
+    """benchmark name -> throughput (higher is better).
+
+    Returns None when the file is missing/corrupt and missing_ok is set
+    (warned, never raised) — the caller treats that as "no baseline".
+    """
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        if missing_ok:
+            warn("cannot read %s (%s); skipping" % (path, exc))
+            return None
+        raise SystemExit("bench_compare: cannot read %s: %s" % (path, exc))
+    if not isinstance(data, dict) or not isinstance(
+            data.get("benchmarks"), list):
+        if missing_ok:
+            warn("%s has no benchmark list; skipping" % path)
+            return None
+        raise SystemExit("bench_compare: %s has no benchmark list" % path)
     raw = {}
     medians = {}
-    for entry in data.get("benchmarks", []):
+    for entry in data["benchmarks"]:
+        if not isinstance(entry, dict):
+            continue
         run_name = entry.get("run_name", entry.get("name", ""))
         if not run_name:
             continue
@@ -42,8 +80,8 @@ def load_throughputs(path):
             value = 1.0 / float(entry["real_time"])
         else:
             continue
-        # Repetitions of the same run_name: keep the median-friendly first
-        # aggregate, or average raw repetitions.
+        # Repetitions of the same run_name: keep the median aggregate, or
+        # average raw repetitions.
         if target is raw and run_name in target:
             count, mean = target[run_name]
             target[run_name] = (count + 1, mean + (value - mean) / (count + 1))
@@ -54,16 +92,21 @@ def load_throughputs(path):
     return merged
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("previous")
-    parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=0.20,
-                        help="maximum tolerated fractional throughput drop")
-    args = parser.parse_args()
+def compare(previous_path, current_path, threshold):
+    previous = load_throughputs(previous_path, missing_ok=True)
+    current = load_throughputs(current_path)
+    if previous is None:
+        warn("no usable baseline; seeding only (gate passes)")
+        return 0
 
-    previous = load_throughputs(args.previous)
-    current = load_throughputs(args.current)
+    only_previous = sorted(set(previous) - set(current))
+    only_current = sorted(set(current) - set(previous))
+    if only_previous:
+        warn("benchmarks removed since baseline (ignored by the gate): %s"
+             % ", ".join(only_previous))
+    if only_current:
+        warn("benchmarks new since baseline (ignored by the gate): %s"
+             % ", ".join(only_current))
 
     regressions = []
     rows = []
@@ -77,7 +120,7 @@ def main():
         prev, cur = previous[name], current[name]
         ratio = cur / prev if prev > 0 else float("inf")
         status = "ok"
-        if ratio < 1.0 - args.threshold:
+        if ratio < 1.0 - threshold:
             status = "REGRESSION"
             regressions.append(name)
         rows.append((name, prev, cur, "%s (%+.1f%%)" % (status,
@@ -95,11 +138,82 @@ def main():
 
     if regressions:
         print("\nFAIL: throughput regression > %d%% on: %s" % (
-            args.threshold * 100, ", ".join(regressions)))
+            threshold * 100, ", ".join(regressions)))
         return 1
-    print("\nOK: no benchmark regressed more than %d%%" % (
-        args.threshold * 100))
+    print("\nOK: no benchmark regressed more than %d%%" % (threshold * 100))
     return 0
+
+
+def append_trajectory(current_path, trajectory_path, commit, date,
+                      max_entries):
+    current = load_throughputs(current_path)
+    entries = []
+    try:
+        with open(trajectory_path) as fh:
+            existing = json.load(fh)
+        if not isinstance(existing, dict):
+            warn("%s is not a JSON object; restarting trajectory"
+                 % trajectory_path)
+            existing = {}
+        entries = existing.get("entries", [])
+        if not isinstance(entries, list):
+            warn("%s entries field is not a list; restarting trajectory"
+                 % trajectory_path)
+            entries = []
+    except FileNotFoundError:
+        pass
+    except (OSError, ValueError) as exc:
+        warn("cannot parse %s (%s); restarting trajectory"
+             % (trajectory_path, exc))
+        entries = []
+
+    entries = [e for e in entries
+               if isinstance(e, dict) and e.get("commit") != commit]
+    entries.append({
+        "commit": commit,
+        "date": date,
+        "benchmarks": {name: value for name, value in sorted(current.items())},
+    })
+    if max_entries > 0:
+        entries = entries[-max_entries:]
+    with open(trajectory_path, "w") as fh:
+        json.dump({"schema": "bgpcc-bench-trajectory-v1",
+                   "entries": entries}, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print("trajectory: %d entries (latest %s, %d benchmarks)" % (
+        len(entries), commit[:12], len(current)))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+",
+                        help="PREVIOUS CURRENT (compare mode) or "
+                             "CURRENT (trajectory mode)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated fractional throughput drop")
+    parser.add_argument("--append-trajectory", metavar="FILE",
+                        help="append CURRENT's medians to this rolling "
+                             "trajectory JSON instead of comparing")
+    parser.add_argument("--commit", default="unknown",
+                        help="commit sha recorded in the trajectory entry")
+    parser.add_argument("--date", default="unknown",
+                        help="ISO-8601 date recorded in the trajectory entry")
+    parser.add_argument("--max-entries", type=int, default=500,
+                        help="cap trajectory length (0 = unlimited)")
+    args = parser.parse_args()
+
+    if args.append_trajectory:
+        if len(args.files) != 1:
+            parser.error("trajectory mode takes exactly one file (CURRENT)")
+        return append_trajectory(args.files[0], args.append_trajectory,
+                                 args.commit, args.date, args.max_entries)
+    if len(args.files) != 2:
+        parser.error("compare mode takes exactly two files "
+                     "(PREVIOUS CURRENT)")
+    return compare(args.files[0], args.files[1], args.threshold)
 
 
 if __name__ == "__main__":
