@@ -4,8 +4,12 @@
 // Prints the per-session stacked counts sorted by announcement volume —
 // the paper's observation is that every session shows a different volume
 // AND a different type mix, despite watching a single beacon prefix.
+// Runs on the analytics engine: PerSessionTypesPass observes inline on
+// the ingestion shard threads, one traversal of the collector's log.
 #include <cstdio>
 
+#include "analytics/driver.h"
+#include "analytics/passes.h"
 #include "core/tables.h"
 #include "synth/beacon_internet.h"
 
@@ -21,9 +25,15 @@ int main() {
   std::printf("simulating one beacon day at rrc00...\n\n");
   internet.run_day();
 
-  core::UpdateStream stream = internet.collector_stream("rrc00");
   Prefix beacon = internet.beacons().front();
-  auto per_session = core::per_session_types(stream, beacon);
+  analytics::AnalysisDriver driver;
+  auto handle = driver.add(analytics::PerSessionTypesPass{beacon});
+  core::IngestOptions ingest;
+  ingest.num_threads = 0;  // hardware concurrency
+  driver.attach(ingest);
+  (void)core::ingest_collector(internet.network().collector("rrc00"),
+                               ingest);
+  auto per_session = driver.report(handle);
 
   std::printf("beacon prefix %s, %zu sessions\n\n",
               beacon.to_string().c_str(), per_session.size());

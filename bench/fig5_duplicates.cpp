@@ -5,6 +5,8 @@
 // all in withdrawal phases) — the Exp3 mechanism in the wild.
 #include <cstdio>
 
+#include "analytics/driver.h"
+#include "analytics/passes.h"
 #include "core/beacon.h"
 #include "core/tables.h"
 #include "synth/beacon_internet.h"
@@ -84,5 +86,35 @@ int main() {
                   counts.count(core::AnnouncementType::kNc)));
   std::printf("  inside withdrawal phases: %d / %d\n", in_withdraw_phase,
               cumulative);
+
+  // Collector-wide duplicate attribution (analytics engine): which
+  // sessions emit the nn duplicates, and in what run lengths — the
+  // paper's single-path view above generalized to every session at once.
+  analytics::AnalysisDriver driver;
+  auto dupes = driver.add(analytics::DuplicateBurstPass{});
+  driver.observe_stream(stream);
+  analytics::DuplicateBurstPass::Report attribution = driver.report(dupes);
+
+  std::printf("\nduplicate (nn) attribution across all rrc00 sessions "
+              "(bursts = runs of >= 3):\n");
+  core::TextTable burst_table(
+      {"session (peer)", "classified", "nn", "nn share", "bursts",
+       "longest run"});
+  std::size_t shown = 0;
+  for (const auto& row : attribution.sessions) {
+    if (row.nn == 0 || shown++ >= 8) break;
+    burst_table.add_row({row.session.peer_asn.to_string(),
+                         core::with_commas(row.classified),
+                         core::with_commas(row.nn),
+                         core::percent(row.nn_share()),
+                         core::with_commas(row.bursts),
+                         core::with_commas(row.longest_run)});
+  }
+  std::printf("%s", burst_table.to_string().c_str());
+  std::printf("total: %llu nn among %llu classified announcements, %llu "
+              "bursts\n",
+              static_cast<unsigned long long>(attribution.nn),
+              static_cast<unsigned long long>(attribution.classified),
+              static_cast<unsigned long long>(attribution.bursts));
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include <sstream>
 
+#include "analytics/driver.h"
+#include "analytics/passes.h"
 #include "bgp/codec.h"
 #include "core/classifier.h"
 #include "core/ingest.h"
@@ -134,13 +136,23 @@ std::string synthetic_ingest_archive(int sessions, int updates_per_session) {
   return out.str();
 }
 
-void BM_IngestMrtStream(benchmark::State& state) {
-  static const std::string archive = synthetic_ingest_archive(64, 256);
+// The registry matching synthetic_ingest_archive's session/path shape —
+// one definition, so changing the archive shape cannot silently skew
+// one benchmark's cleaning-drop behavior.
+core::Registry ingest_bench_registry() {
   core::Registry registry;
-  for (std::uint32_t s = 0; s < 64; ++s) registry.allocate_asn(Asn(65000u + s));
+  for (std::uint32_t s = 0; s < 64; ++s) {
+    registry.allocate_asn(Asn(65000u + s));
+  }
   registry.allocate_asn(Asn(3356));
   registry.allocate_asn(Asn(174));
   registry.allocate_prefix(Prefix::from_string("84.205.64.0/24"));
+  return registry;
+}
+
+void BM_IngestMrtStream(benchmark::State& state) {
+  static const std::string archive = synthetic_ingest_archive(64, 256);
+  core::Registry registry = ingest_bench_registry();
   core::CleaningOptions cleaning;
   cleaning.registry = &registry;
   core::IngestOptions options;
@@ -174,11 +186,7 @@ void BM_IngestMrtSources(benchmark::State& state) {
     }
     return out;
   }();
-  core::Registry registry;
-  for (std::uint32_t s = 0; s < 64; ++s) registry.allocate_asn(Asn(65000u + s));
-  registry.allocate_asn(Asn(3356));
-  registry.allocate_asn(Asn(174));
-  registry.allocate_prefix(Prefix::from_string("84.205.64.0/24"));
+  core::Registry registry = ingest_bench_registry();
   core::CleaningOptions cleaning;
   cleaning.registry = &registry;
   core::IngestOptions options;
@@ -224,11 +232,7 @@ void BM_IngestMrtSourcesWindowed(benchmark::State& state) {
     }
     return out;
   }();
-  core::Registry registry;
-  for (std::uint32_t s = 0; s < 64; ++s) registry.allocate_asn(Asn(65000u + s));
-  registry.allocate_asn(Asn(3356));
-  registry.allocate_asn(Asn(174));
-  registry.allocate_prefix(Prefix::from_string("84.205.64.0/24"));
+  core::Registry registry = ingest_bench_registry();
   core::CleaningOptions cleaning;
   cleaning.registry = &registry;
   core::IngestOptions options;
@@ -272,11 +276,7 @@ void BM_IngestMrtGzip(benchmark::State& state) {
   }
   static const std::string archive = synthetic_ingest_archive(64, 256);
   static const std::string compressed = mrt::gzip_compress(archive);
-  core::Registry registry;
-  for (std::uint32_t s = 0; s < 64; ++s) registry.allocate_asn(Asn(65000u + s));
-  registry.allocate_asn(Asn(3356));
-  registry.allocate_asn(Asn(174));
-  registry.allocate_prefix(Prefix::from_string("84.205.64.0/24"));
+  core::Registry registry = ingest_bench_registry();
   core::CleaningOptions cleaning;
   cleaning.registry = &registry;
   core::IngestOptions options;
@@ -297,6 +297,83 @@ void BM_IngestMrtGzip(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(options.num_threads);
 }
 BENCHMARK(BM_IngestMrtGzip)->Arg(1)->Arg(4)->UseRealTime();
+
+// The analytics engine, inline mode: every pass observes on the shard
+// threads during ingestion — prices the per-record virtual-dispatch and
+// state-update cost of the full pass set riding the ingest hot path.
+void BM_AnalyzeInline(benchmark::State& state) {
+  static const std::string archive = synthetic_ingest_archive(64, 256);
+  core::Registry registry = ingest_bench_registry();
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  std::size_t records = 0;
+  for (auto _ : state) {
+    analytics::AnalysisDriver driver;
+    auto types = driver.add(analytics::ClassifierPass{});
+    auto tomography = driver.add(analytics::TomographyPass{});
+    auto communities = driver.add(analytics::CommunityStatsPass{});
+    auto duplicates = driver.add(analytics::DuplicateBurstPass{});
+    core::IngestOptions options;
+    options.num_threads = static_cast<unsigned>(state.range(0));
+    options.chunk_records = 1024;
+    options.cleaning = &cleaning;
+    driver.attach(options);
+    std::istringstream in(archive);
+    core::IngestResult result = core::ingest_mrt_stream("bench", in, options);
+    // Pre-clean decoded total: the same denominator BM_AnalyzeSink uses,
+    // so the Inline/Sink throughput delta compares identical work.
+    records = result.stats.records;
+    benchmark::DoNotOptimize(driver.report(types));
+    benchmark::DoNotOptimize(driver.report(tomography));
+    benchmark::DoNotOptimize(driver.report(communities));
+    benchmark::DoNotOptimize(driver.report(duplicates));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AnalyzeInline)->Arg(1)->Arg(4)->UseRealTime();
+
+// Same pass set through the streaming-sink mode: records observed in
+// final merged order on one thread, no materialized stream — the
+// windowed O(window) configuration. The Inline/Sink delta is the price
+// of single-threaded observation.
+void BM_AnalyzeSink(benchmark::State& state) {
+  static const std::string archive = synthetic_ingest_archive(64, 256);
+  core::Registry registry = ingest_bench_registry();
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  std::size_t records = 0;
+  for (auto _ : state) {
+    analytics::AnalysisDriver driver;
+    auto types = driver.add(analytics::ClassifierPass{});
+    auto tomography = driver.add(analytics::TomographyPass{});
+    auto communities = driver.add(analytics::CommunityStatsPass{});
+    auto duplicates = driver.add(analytics::DuplicateBurstPass{});
+    core::IngestOptions options;
+    options.num_threads = static_cast<unsigned>(state.range(0));
+    options.chunk_records = 1024;
+    options.window_records = static_cast<std::size_t>(state.range(1));
+    options.cleaning = &cleaning;
+    std::istringstream in(archive);
+    core::StreamingIngestor engine(options);
+    engine.add_stream("bench", in);
+    core::IngestResult result = engine.finish(driver.sink());
+    records = result.stats.records;
+    benchmark::DoNotOptimize(driver.report(types));
+    benchmark::DoNotOptimize(driver.report(tomography));
+    benchmark::DoNotOptimize(driver.report(communities));
+    benchmark::DoNotOptimize(driver.report(duplicates));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["window"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_AnalyzeSink)
+    ->Args({1, 4096})
+    ->Args({4, 4096})
+    ->UseRealTime();
 
 void BM_DecisionCompare(benchmark::State& state) {
   Route a;

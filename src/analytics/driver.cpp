@@ -1,0 +1,125 @@
+#include "analytics/driver.h"
+
+#include <utility>
+
+#include "netbase/error.h"
+
+namespace bgpcc::analytics {
+
+AnalysisDriver::AnalysisDriver() = default;
+AnalysisDriver::~AnalysisDriver() = default;
+
+void AnalysisDriver::ensure_can_add() const {
+  if (!states_.empty() || finalized_) {
+    throw ConfigError(
+        "AnalysisDriver: add() after observation started or after "
+        "report() — register every pass before attach()/sink()/observe(), "
+        "and build a fresh driver for a new run");
+  }
+}
+
+void AnalysisDriver::ensure_states() {
+  if (finalized_) {
+    throw ConfigError(
+        "AnalysisDriver: observation after report() — the states are "
+        "already merged");
+  }
+  if (!states_.empty()) return;
+  states_.resize(core::kIngestShards);
+  for (auto& shard : states_) {
+    shard.reserve(passes_.size());
+    for (const auto& pass : passes_) {
+      shard.push_back(pass->make_state());
+    }
+  }
+}
+
+void AnalysisDriver::attach(core::IngestOptions& options) {
+  ensure_states();
+  options.shard_observer = [this](std::size_t shard,
+                                  const std::vector<core::SeqRecord>&
+                                      records) {
+    observe_shard(shard, records);
+  };
+}
+
+std::function<void(core::UpdateRecord&&)> AnalysisDriver::sink() {
+  ensure_states();
+  return [this](core::UpdateRecord&& record) { observe(record); };
+}
+
+void AnalysisDriver::observe(const core::UpdateRecord& record) {
+  ensure_states();
+  for (const auto& state : states_[0]) state->observe(record);
+}
+
+void AnalysisDriver::observe_stream(const core::UpdateStream& stream) {
+  ensure_states();
+  // Pass-major iteration keeps each pass's state hot in cache across the
+  // whole stream instead of cycling every state per record.
+  for (const auto& state : states_[0]) {
+    for (const core::UpdateRecord& record : stream.records()) {
+      state->observe(record);
+    }
+  }
+}
+
+void AnalysisDriver::observe_shard(
+    std::size_t shard, const std::vector<core::SeqRecord>& records) {
+  // Called on the engine's worker threads: one thread per shard index at
+  // a time (core::IngestOptions::shard_observer contract), so the
+  // per-shard states need no locking. ensure_states() already ran on the
+  // caller's thread in attach(), before any worker existed.
+  if (finalized_) {
+    // A still-attached IngestOptions reused after report(): the engine's
+    // error collector carries this to the ingest caller as the real
+    // contract violation, not a cryptic out-of-range.
+    throw ConfigError(
+        "AnalysisDriver: ingestion observed through attached options "
+        "after report() — attach a fresh driver per run");
+  }
+  std::vector<std::unique_ptr<detail::AnyState>>& slot = states_.at(shard);
+  for (const auto& state : slot) {
+    for (const core::SeqRecord& sr : records) {
+      state->observe(sr.record);
+    }
+  }
+}
+
+const detail::AnyState& AnalysisDriver::finalized_state(std::size_t index,
+                                                        const void* owner) {
+  if (owner != this || index >= passes_.size()) {
+    throw ConfigError(
+        "AnalysisDriver: report() with a handle this driver did not issue");
+  }
+  if (!finalized_) {
+    ensure_states();  // report() before any observation: empty reports
+    final_ = std::move(states_.front());
+    for (std::size_t s = 1; s < states_.size(); ++s) {
+      for (std::size_t p = 0; p < passes_.size(); ++p) {
+        final_[p]->merge(std::move(*states_[s][p]));
+      }
+    }
+    states_.clear();
+    finalized_ = true;
+  }
+  return *final_[index];
+}
+
+core::IngestResult analyze_mrt_files(
+    AnalysisDriver& driver,
+    const std::map<std::string, std::vector<std::string>>& archives,
+    core::IngestOptions options) {
+  driver.attach(options);
+  return core::ingest_mrt_files(archives, options);
+}
+
+core::IngestResult analyze_collectors(
+    AnalysisDriver& driver,
+    const std::vector<const sim::RouteCollector*>& collectors,
+    core::IngestOptions options) {
+  driver.attach(options);
+  return core::ingest_collectors(collectors, options);
+}
+
+}  // namespace bgpcc::analytics

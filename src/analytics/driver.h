@@ -1,0 +1,124 @@
+// AnalysisDriver: runs any set of Passes over the cleaned update stream
+// in ONE traversal, in whichever execution mode the workload wants:
+//
+//   (a) inline — attach(options) installs a per-shard observer into the
+//       ingestion engine (core/ingest.h), so every pass observes on the
+//       shard-clean worker threads, in parallel, while the stream is
+//       being ingested; partial states are merged after the tournament
+//       merge. Zero extra traversal, O(shard states) extra memory.
+//   (b) sink — sink() returns a StreamingIngestor callback that observes
+//       each record in final merged order without materializing the
+//       stream: the window-at-a-time configuration for archives larger
+//       than RAM.
+//   (c) materialized — observe_stream() walks an UpdateStream already in
+//       memory (simulator output, tests).
+//
+// All three modes produce identical reports for every pass honoring the
+// Pass contract (pass.h). Typical use:
+//
+//   analytics::AnalysisDriver driver;
+//   auto types = driver.add(analytics::ClassifierPass{});
+//   auto comms = driver.add(analytics::CommunityStatsPass{});
+//   core::IngestOptions options;
+//   options.num_threads = 8;
+//   options.cleaning = &cleaning;
+//   driver.attach(options);                      // inline mode
+//   auto result = core::ingest_mrt_files(archives, options);
+//   auto shares = driver.report(types);          // merged + projected
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytics/pass.h"
+#include "core/ingest.h"
+
+namespace bgpcc::analytics {
+
+class AnalysisDriver {
+ public:
+  AnalysisDriver();
+  ~AnalysisDriver();
+  AnalysisDriver(const AnalysisDriver&) = delete;
+  AnalysisDriver& operator=(const AnalysisDriver&) = delete;
+
+  /// Registers a pass. Call before any observation (attach/sink/observe*);
+  /// throws ConfigError afterwards.
+  template <Pass P>
+  PassHandle<P> add(P pass) {
+    ensure_can_add();
+    passes_.push_back(
+        std::make_unique<detail::PassModel<P>>(std::move(pass)));
+    return PassHandle<P>{passes_.size() - 1, this};
+  }
+
+  /// Number of registered passes.
+  [[nodiscard]] std::size_t size() const { return passes_.size(); }
+
+  /// Inline mode: installs this driver's per-shard observer into
+  /// `options` (see core::IngestOptions::shard_observer). The driver must
+  /// outlive every ingestion run using `options`. May be combined with
+  /// further ingestion runs — states accumulate until report().
+  void attach(core::IngestOptions& options);
+
+  /// Sink mode: a callback for StreamingIngestor::finish(sink) observing
+  /// every record in final merged order on the caller's thread. Do not
+  /// combine with attach() on the same ingestion run — the passes would
+  /// observe every record twice.
+  [[nodiscard]] std::function<void(core::UpdateRecord&&)> sink();
+
+  /// Observes one record (single-threaded feed).
+  void observe(const core::UpdateRecord& record);
+
+  /// Observes a whole materialized stream (simulator output, tests).
+  void observe_stream(const core::UpdateStream& stream);
+
+  /// Merges all partial states and projects the pass's report. The first
+  /// report() call finalizes the driver: further observation throws
+  /// ConfigError (the merged states can no longer absorb records);
+  /// reports stay redeemable any number of times.
+  template <Pass P>
+  [[nodiscard]] ReportOf<P> report(PassHandle<P> handle) {
+    const detail::AnyState& state =
+        finalized_state(handle.index_, handle.owner_);
+    return static_cast<const detail::StateModel<P>&>(state).state().report();
+  }
+
+ private:
+  void ensure_can_add() const;
+  void ensure_states();
+  void observe_shard(std::size_t shard,
+                     const std::vector<core::SeqRecord>& records);
+  [[nodiscard]] const detail::AnyState& finalized_state(std::size_t index,
+                                                        const void* owner);
+
+  std::vector<std::unique_ptr<detail::AnyPass>> passes_;
+  /// states_[shard][pass]; shard slot 0 doubles as the sink/observe slot
+  /// (any partition of the observations merges to the same final state —
+  /// the Pass contract).
+  std::vector<std::vector<std::unique_ptr<detail::AnyState>>> states_;
+  std::vector<std::unique_ptr<detail::AnyState>> final_;
+  bool finalized_ = false;
+};
+
+/// One-call inline analysis over archive files: attaches `driver` to a
+/// copy of `options`, ingests every archive through the parallel engine
+/// (passes observe on the shard threads), and returns the IngestResult —
+/// stream included, so callers needing both the records and the reports
+/// still traverse the input once.
+[[nodiscard]] core::IngestResult analyze_mrt_files(
+    AnalysisDriver& driver,
+    const std::map<std::string, std::vector<std::string>>& archives,
+    core::IngestOptions options = {});
+
+/// Same, over simulated collectors (the in-simulator workload).
+[[nodiscard]] core::IngestResult analyze_collectors(
+    AnalysisDriver& driver,
+    const std::vector<const sim::RouteCollector*>& collectors,
+    core::IngestOptions options = {});
+
+}  // namespace bgpcc::analytics

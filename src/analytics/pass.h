@@ -1,0 +1,115 @@
+// The Pass concept: one analysis over the cleaned update stream,
+// expressed as per-shard state so it can run anywhere the stream flows —
+// inline on the ingestion engine's shard threads (zero extra traversal),
+// as a streaming sink over the final merged order, or over an
+// already-materialized UpdateStream. A pass supplies:
+//
+//   State make_state() const       — one state per shard (or sink)
+//   State::observe(record)         — folds one cleaned record in
+//   State::merge(State&&)          — associative combination of partial
+//                                    states (any grouping, any order)
+//   State::report() const          — projects the merged state into the
+//                                    pass's result type
+//
+// The contract that makes every execution mode equivalent: a state's
+// final merged value must depend only on (a) the multiset of records
+// observed and (b) the relative order of records WITHIN each BGP
+// session — never on cross-session interleaving. The engine guarantees
+// each session lands wholly inside one shard and that per-session order
+// equals final stream order, so any pass honoring the contract reports
+// identically for 1 thread, N threads, any window size, inline or sink —
+// analytics_test asserts exactly that for every shipped pass.
+#pragma once
+
+#include <concepts>
+#include <memory>
+#include <utility>
+
+#include "core/stream.h"
+
+namespace bgpcc::analytics {
+
+/// The compile-time shape of an analysis pass (see the header comment
+/// for the semantic contract the types must honor).
+template <typename P>
+concept Pass = std::move_constructible<P> &&
+    requires(const P& pass, typename P::State& state, typename P::State&& tmp,
+             const core::UpdateRecord& record) {
+      { pass.make_state() } -> std::same_as<typename P::State>;
+      state.observe(record);
+      state.merge(std::move(tmp));
+      { std::as_const(state).report() };
+    };
+
+/// The report type a pass projects to.
+template <Pass P>
+using ReportOf = decltype(std::declval<const typename P::State&>().report());
+
+namespace detail {
+
+/// Type-erased per-shard state: what the driver fans out, observes into,
+/// and tournament-merges back together.
+class AnyState {
+ public:
+  virtual ~AnyState() = default;
+  virtual void observe(const core::UpdateRecord& record) = 0;
+  /// `other` must wrap the same State type (guaranteed by construction:
+  /// the driver only merges states minted by one pass slot).
+  virtual void merge(AnyState&& other) = 0;
+};
+
+/// Type-erased pass: a state factory.
+class AnyPass {
+ public:
+  virtual ~AnyPass() = default;
+  [[nodiscard]] virtual std::unique_ptr<AnyState> make_state() const = 0;
+};
+
+template <Pass P>
+class StateModel final : public AnyState {
+ public:
+  explicit StateModel(typename P::State&& state) : state_(std::move(state)) {}
+  void observe(const core::UpdateRecord& record) override {
+    state_.observe(record);
+  }
+  void merge(AnyState&& other) override {
+    state_.merge(std::move(static_cast<StateModel&>(other).state_));
+  }
+  [[nodiscard]] const typename P::State& state() const { return state_; }
+
+ private:
+  typename P::State state_;
+};
+
+template <Pass P>
+class PassModel final : public AnyPass {
+ public:
+  explicit PassModel(P pass) : pass_(std::move(pass)) {}
+  [[nodiscard]] std::unique_ptr<AnyState> make_state() const override {
+    return std::make_unique<StateModel<P>>(pass_.make_state());
+  }
+
+ private:
+  P pass_;
+};
+
+}  // namespace detail
+
+/// Typed ticket returned by AnalysisDriver::add: redeem with
+/// AnalysisDriver::report after ingestion. Valid only for the driver
+/// that issued it (stamped with the issuer; a foreign handle throws
+/// ConfigError instead of reading the wrong pass's state).
+template <Pass P>
+class PassHandle {
+ public:
+  PassHandle() = default;
+
+ private:
+  friend class AnalysisDriver;
+  PassHandle(std::size_t index, const void* owner)
+      : index_(index), owner_(owner) {}
+  std::size_t index_ = static_cast<std::size_t>(-1);
+  const void* owner_ = nullptr;
+};
+
+}  // namespace bgpcc::analytics

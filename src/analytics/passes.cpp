@@ -1,0 +1,158 @@
+#include "analytics/passes.h"
+
+#include <algorithm>
+
+namespace bgpcc::analytics {
+
+// ---------------------------------------------------------------------------
+// PerSessionTypesPass
+
+void PerSessionTypesPass::State::observe(const core::UpdateRecord& record) {
+  if (only_prefix_ && record.prefix != *only_prefix_) return;
+  classifiers_[record.session].classify(record);
+}
+
+void PerSessionTypesPass::State::merge(State&& other) {
+  for (auto& [session, classifier] : other.classifiers_) {
+    auto [it, inserted] =
+        classifiers_.try_emplace(session, std::move(classifier));
+    if (!inserted) it->second.merge(std::move(classifier));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TomographyPass
+
+void TomographyPass::State::merge(State&& other) {
+  for (auto& [asn, evidence] : other.evidence_) {
+    auto [it, inserted] = evidence_.try_emplace(asn, evidence);
+    if (!inserted) it->second += evidence;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CommunityStatsPass
+
+void CommunityStatsPass::State::observe(const core::UpdateRecord& record) {
+  if (!record.announcement) {
+    ++withdrawals_;
+    return;
+  }
+  ++announcements_;
+  const CommunitySet& communities = record.attrs.communities;
+  std::size_t count = communities.size();
+  occurrences_ += count;
+  if (count > 0) ++with_communities_;
+  ++histogram_[std::min(count, histogram_.size() - 1)];
+  for (Community c : communities) values_.insert(c.raw());
+}
+
+void CommunityStatsPass::State::merge(State&& other) {
+  // Histogram sizes match: every state of one pass is minted with the
+  // same bucket count.
+  for (std::size_t i = 0; i < histogram_.size(); ++i) {
+    histogram_[i] += other.histogram_[i];
+  }
+  announcements_ += other.announcements_;
+  withdrawals_ += other.withdrawals_;
+  with_communities_ += other.with_communities_;
+  occurrences_ += other.occurrences_;
+  if (values_.size() < other.values_.size()) values_.swap(other.values_);
+  values_.insert(other.values_.begin(), other.values_.end());
+}
+
+CommunityStatsPass::Report CommunityStatsPass::State::report() const {
+  Report report;
+  report.announcements = announcements_;
+  report.withdrawals = withdrawals_;
+  report.with_communities = with_communities_;
+  report.community_occurrences = occurrences_;
+  report.unique_communities = values_.size();
+  report.communities_per_announcement = histogram_;
+
+  std::map<std::uint16_t, std::uint64_t> per_namespace;
+  for (std::uint32_t raw : values_) {
+    ++per_namespace[static_cast<std::uint16_t>(raw >> 16)];
+  }
+  report.namespaces.reserve(per_namespace.size());
+  for (const auto& [asn16, distinct] : per_namespace) {
+    report.namespaces.push_back(NamespaceCount{asn16, distinct});
+  }
+  std::sort(report.namespaces.begin(), report.namespaces.end(),
+            [](const NamespaceCount& a, const NamespaceCount& b) {
+              if (a.distinct_values != b.distinct_values) {
+                return a.distinct_values > b.distinct_values;
+              }
+              return a.asn16 < b.asn16;
+            });
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// DuplicateBurstPass
+
+void DuplicateBurstPass::State::observe(const core::UpdateRecord& record) {
+  // Withdrawals neither reset comparison state nor break a run — same
+  // convention as the classifier, whose nn definition this mirrors.
+  if (!record.announcement) return;
+  auto key = std::make_pair(record.session, record.prefix);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    streams_.emplace(std::move(key),
+                     StreamState{record.attrs.as_path,
+                                 record.attrs.communities, 0});
+    return;
+  }
+  StreamState& stream = it->second;
+  Tally& tally = tallies_[record.session];
+  ++tally.classified;
+  bool duplicate = stream.path == record.attrs.as_path &&
+                   stream.communities == record.attrs.communities;
+  if (duplicate) {
+    ++tally.nn;
+    ++stream.run;
+    if (stream.run == options_.min_run) ++tally.bursts;
+    tally.longest_run = std::max(tally.longest_run, stream.run);
+  } else {
+    stream.run = 0;
+    stream.path = record.attrs.as_path;
+    stream.communities = record.attrs.communities;
+  }
+}
+
+void DuplicateBurstPass::State::merge(State&& other) {
+  // Streams and sessions are disjoint across shard states (each session
+  // lives in one shard); map::merge keeps ours on a contract violation.
+  streams_.merge(std::move(other.streams_));
+  for (auto& [session, tally] : other.tallies_) {
+    auto [it, inserted] = tallies_.try_emplace(session, tally);
+    if (!inserted) {
+      it->second.classified += tally.classified;
+      it->second.nn += tally.nn;
+      it->second.bursts += tally.bursts;
+      it->second.longest_run =
+          std::max(it->second.longest_run, tally.longest_run);
+    }
+  }
+}
+
+DuplicateBurstPass::Report DuplicateBurstPass::State::report() const {
+  Report report;
+  report.sessions.reserve(tallies_.size());
+  for (const auto& [session, tally] : tallies_) {
+    report.classified += tally.classified;
+    report.nn += tally.nn;
+    report.bursts += tally.bursts;
+    report.sessions.push_back(SessionDuplicates{
+        session, tally.classified, tally.nn, tally.bursts,
+        tally.longest_run});
+  }
+  std::sort(report.sessions.begin(), report.sessions.end(),
+            [](const SessionDuplicates& a, const SessionDuplicates& b) {
+              if (a.nn != b.nn) return a.nn > b.nn;
+              return a.session < b.session;
+            });
+  return report;
+}
+
+}  // namespace bgpcc::analytics

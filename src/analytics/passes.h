@@ -1,0 +1,266 @@
+// The shipped analysis passes: the paper's §5 classifier and per-AS
+// tomography ported onto the Pass interface, plus the Table-1/Figure-4
+// community-attribute statistics and the duplicate (nn) burst
+// attribution the §5 "manual check" calls for. Every pass honors the
+// Pass contract (pass.h): state depends only on the record multiset and
+// per-session order, so inline-parallel, streaming-sink, and
+// materialized execution report identically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "analytics/pass.h"
+#include "core/classifier.h"
+#include "core/stream.h"
+#include "core/tomography.h"
+
+namespace bgpcc::analytics {
+
+/// §5 announcement-type classification (Table 2, Figure 2): wraps
+/// core::Classifier; shard states merge because every (session, prefix)
+/// stream lives in exactly one shard.
+class ClassifierPass {
+ public:
+  struct Report {
+    core::TypeCounts counts;
+    /// Distinct (session, prefix) streams seen.
+    std::uint64_t streams = 0;
+    friend bool operator==(const Report&, const Report&) = default;
+  };
+
+  class State {
+   public:
+    void observe(const core::UpdateRecord& record) {
+      classifier_.classify(record);
+    }
+    void merge(State&& other) {
+      classifier_.merge(std::move(other.classifier_));
+    }
+    [[nodiscard]] Report report() const {
+      return Report{classifier_.counts(), classifier_.stream_count()};
+    }
+
+   private:
+    core::Classifier classifier_;
+  };
+
+  [[nodiscard]] State make_state() const { return {}; }
+};
+
+/// Figure 3: per-session type tallies, optionally restricted to one
+/// prefix. report() projects through core::rank_session_types, so the
+/// ranking is byte-identical to the legacy per_session_types path.
+class PerSessionTypesPass {
+ public:
+  PerSessionTypesPass() = default;
+  explicit PerSessionTypesPass(Prefix only_prefix)
+      : only_prefix_(only_prefix) {}
+
+  using Report = std::vector<std::pair<core::SessionKey, core::TypeCounts>>;
+
+  class State {
+   public:
+    explicit State(std::optional<Prefix> only_prefix)
+        : only_prefix_(only_prefix) {}
+    void observe(const core::UpdateRecord& record);
+    void merge(State&& other);
+    [[nodiscard]] Report report() const {
+      return core::rank_session_types(classifiers_);
+    }
+
+   private:
+    std::optional<Prefix> only_prefix_;
+    std::map<core::SessionKey, core::Classifier> classifiers_;
+  };
+
+  [[nodiscard]] State make_state() const { return State{only_prefix_}; }
+
+ private:
+  std::optional<Prefix> only_prefix_;
+};
+
+/// §7 per-AS community-behavior tomography (core/tomography) as a Pass:
+/// evidence counters sum across shards; thresholds apply at report().
+class TomographyPass {
+ public:
+  TomographyPass() = default;
+  explicit TomographyPass(core::TomographyOptions options)
+      : options_(options) {}
+
+  using Report = std::vector<core::AsEvidence>;
+
+  class State {
+   public:
+    explicit State(const core::TomographyOptions& options)
+        : options_(options) {}
+    void observe(const core::UpdateRecord& record) {
+      core::accumulate_community_evidence(record, evidence_);
+    }
+    void merge(State&& other);
+    [[nodiscard]] Report report() const {
+      return core::finalize_community_behavior(evidence_, options_);
+    }
+
+   private:
+    core::TomographyOptions options_;
+    std::map<Asn, core::AsEvidence> evidence_;
+  };
+
+  [[nodiscard]] State make_state() const { return State{options_}; }
+
+ private:
+  core::TomographyOptions options_;
+};
+
+/// Community-attribute statistics (Table 1's community rows, Figure 4's
+/// namespace exploration): distinct community values per 16-bit AS
+/// namespace and the communities-per-announcement distribution.
+class CommunityStatsPass {
+ public:
+  /// Announcements carrying >= histogram_buckets-1 communities land in
+  /// the last (overflow) bucket.
+  explicit CommunityStatsPass(std::size_t histogram_buckets = 17)
+      : histogram_buckets_(histogram_buckets < 2 ? 2 : histogram_buckets) {}
+
+  struct NamespaceCount {
+    std::uint16_t asn16 = 0;
+    std::uint64_t distinct_values = 0;
+    friend bool operator==(const NamespaceCount&,
+                           const NamespaceCount&) = default;
+  };
+
+  struct Report {
+    std::uint64_t announcements = 0;
+    std::uint64_t withdrawals = 0;
+    /// Announcements carrying at least one community.
+    std::uint64_t with_communities = 0;
+    /// Sum of community-attribute sizes over all announcements.
+    std::uint64_t community_occurrences = 0;
+    /// Distinct 32-bit community values seen.
+    std::uint64_t unique_communities = 0;
+    /// Distinct values per namespace, sorted by count desc, asn16 asc.
+    std::vector<NamespaceCount> namespaces;
+    /// histogram[k] = announcements carrying exactly k communities
+    /// (last bucket: >= size-1).
+    std::vector<std::uint64_t> communities_per_announcement;
+    [[nodiscard]] double mean_communities() const {
+      return announcements == 0
+                 ? 0.0
+                 : static_cast<double>(community_occurrences) /
+                       static_cast<double>(announcements);
+    }
+    [[nodiscard]] double share_with_communities() const {
+      return announcements == 0
+                 ? 0.0
+                 : static_cast<double>(with_communities) /
+                       static_cast<double>(announcements);
+    }
+    friend bool operator==(const Report&, const Report&) = default;
+  };
+
+  class State {
+   public:
+    explicit State(std::size_t histogram_buckets)
+        : histogram_(histogram_buckets, 0) {}
+    void observe(const core::UpdateRecord& record);
+    void merge(State&& other);
+    [[nodiscard]] Report report() const;
+
+   private:
+    std::unordered_set<std::uint32_t> values_;
+    std::vector<std::uint64_t> histogram_;
+    std::uint64_t announcements_ = 0;
+    std::uint64_t withdrawals_ = 0;
+    std::uint64_t with_communities_ = 0;
+    std::uint64_t occurrences_ = 0;
+  };
+
+  [[nodiscard]] State make_state() const { return State{histogram_buckets_}; }
+
+ private:
+  std::size_t histogram_buckets_;
+};
+
+/// Knobs for duplicate-burst attribution.
+struct DuplicateBurstOptions {
+  /// Consecutive attribute-identical (nn) announcements on one
+  /// (session, prefix) stream that constitute a burst. Withdrawals do not
+  /// break a run (matching the classifier: they don't reset comparison
+  /// state, and Figure 5's duplicates straddle withdrawal phases).
+  std::uint64_t min_run = 3;
+};
+
+/// Duplicate (nn) burst attribution: which sessions emit the paper's
+/// attribute-identical duplicates, and in what run lengths — the
+/// session-level evidence behind the Figure-2 footnote's mid-2012 burst
+/// and Figure 5's cleaned-then-re-announced duplicates.
+class DuplicateBurstPass {
+ public:
+  DuplicateBurstPass() = default;
+  explicit DuplicateBurstPass(DuplicateBurstOptions options)
+      : options_(options) {}
+
+  struct SessionDuplicates {
+    core::SessionKey session;
+    /// Announcements with a predecessor on their stream.
+    std::uint64_t classified = 0;
+    std::uint64_t nn = 0;
+    /// Runs of >= min_run consecutive nn announcements.
+    std::uint64_t bursts = 0;
+    std::uint64_t longest_run = 0;
+    [[nodiscard]] double nn_share() const {
+      return classified == 0 ? 0.0
+                             : static_cast<double>(nn) /
+                                   static_cast<double>(classified);
+    }
+    friend bool operator==(const SessionDuplicates&,
+                           const SessionDuplicates&) = default;
+  };
+
+  struct Report {
+    std::uint64_t classified = 0;
+    std::uint64_t nn = 0;
+    std::uint64_t bursts = 0;
+    /// Sorted by nn count desc, session asc (total order: stable across
+    /// platforms).
+    std::vector<SessionDuplicates> sessions;
+    friend bool operator==(const Report&, const Report&) = default;
+  };
+
+  class State {
+   public:
+    explicit State(const DuplicateBurstOptions& options)
+        : options_(options) {}
+    void observe(const core::UpdateRecord& record);
+    void merge(State&& other);
+    [[nodiscard]] Report report() const;
+
+   private:
+    struct StreamState {
+      AsPath path;
+      CommunitySet communities;
+      std::uint64_t run = 0;
+    };
+    struct Tally {
+      std::uint64_t classified = 0;
+      std::uint64_t nn = 0;
+      std::uint64_t bursts = 0;
+      std::uint64_t longest_run = 0;
+    };
+    DuplicateBurstOptions options_;
+    std::map<std::pair<core::SessionKey, Prefix>, StreamState> streams_;
+    std::map<core::SessionKey, Tally> tallies_;
+  };
+
+  [[nodiscard]] State make_state() const { return State{options_}; }
+
+ private:
+  DuplicateBurstOptions options_;
+};
+
+}  // namespace bgpcc::analytics

@@ -85,6 +85,13 @@ std::optional<AnnouncementType> Classifier::classify(
   return type;
 }
 
+void Classifier::merge(Classifier&& other) {
+  counts_ += other.counts_;
+  // std::map::merge keeps the existing element on key collision — the
+  // deterministic "this classifier wins" rule the header documents.
+  last_.merge(std::move(other.last_));
+}
+
 TypeCounts classify_stream(
     const UpdateStream& stream,
     const std::function<void(const UpdateRecord&,
@@ -104,9 +111,14 @@ std::vector<std::pair<SessionKey, TypeCounts>> per_session_types(
     if (only_prefix && record.prefix != *only_prefix) continue;
     classifiers[record.session].classify(record);
   }
+  return rank_session_types(classifiers);
+}
+
+std::vector<std::pair<SessionKey, TypeCounts>> rank_session_types(
+    const std::map<SessionKey, Classifier>& classifiers) {
   std::vector<std::pair<SessionKey, TypeCounts>> out;
   out.reserve(classifiers.size());
-  for (auto& [key, classifier] : classifiers) {
+  for (const auto& [key, classifier] : classifiers) {
     out.emplace_back(key, classifier.counts());
   }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {

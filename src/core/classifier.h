@@ -62,6 +62,7 @@ struct TypeCounts {
   [[nodiscard]] double share(AnnouncementType type) const;
 
   TypeCounts& operator+=(const TypeCounts& other);
+  friend bool operator==(const TypeCounts&, const TypeCounts&) = default;
 };
 
 /// Streaming classifier; feed records in chronological order per session.
@@ -75,6 +76,15 @@ class Classifier {
 
   /// Number of distinct (session, prefix) streams seen.
   [[nodiscard]] std::size_t stream_count() const { return last_.size(); }
+
+  /// Absorbs another classifier: tallies are summed and per-stream states
+  /// united — the associative merge of shard-parallel classification
+  /// (analytics/passes.h), where the SessionKey-hash sharding guarantees
+  /// each (session, prefix) stream was observed by exactly ONE
+  /// classifier. For streams present in both (a contract violation), this
+  /// classifier's state wins deterministically, but the summed tallies
+  /// have double-counted that stream's first sighting.
+  void merge(Classifier&& other);
 
  private:
   struct StreamState {
@@ -99,5 +109,12 @@ TypeCounts classify_stream(
 [[nodiscard]] std::vector<std::pair<SessionKey, TypeCounts>> per_session_types(
     const UpdateStream& stream,
     const std::optional<Prefix>& only_prefix = std::nullopt);
+
+/// Projects per-session classifiers into the Figure-3 ranking (sorted by
+/// classified announcement count, descending). The shared projection of
+/// per_session_types and analytics::PerSessionTypesPass — one sort, so
+/// the two paths cannot drift apart on tie handling.
+[[nodiscard]] std::vector<std::pair<SessionKey, TypeCounts>>
+rank_session_types(const std::map<SessionKey, Classifier>& classifiers);
 
 }  // namespace bgpcc::core

@@ -33,8 +33,10 @@ namespace {
 // Shard count is fixed (not thread-derived) so the shard assignment — and
 // with it every per-shard cleaning decision — is identical no matter how
 // many workers run. Sessions are hash-distributed; 16 shards keep all
-// realistic thread counts busy without fragmenting tiny inputs.
-constexpr std::size_t kShards = 16;
+// realistic thread counts busy without fragmenting tiny inputs. The
+// value is exported (ingest.h) so inline analytics can size its state
+// sets to match.
+constexpr std::size_t kShards = kIngestShards;
 
 // Arrival sequence packing: (file 16 bits | chunk 24 bits | record 24
 // bits). Lexicographic order of the packed value equals the logical
@@ -326,19 +328,18 @@ void merge_partition(std::vector<std::vector<SeqRecord>>& shards,
 // beats the parallelism it buys.
 constexpr std::size_t kMinRecordsPerMergePartition = 1024;
 
-// The parallel k-way merge. Sorts each shard run (parallel over shards),
-// cuts the output into `threads` balanced partitions with splitters drawn
-// from the largest run, then tournament-merges every partition
-// concurrently into its preallocated output slice.
+// The parallel k-way merge. Requires each shard run already sorted by
+// the merge order (gather_and_clean guarantees it — sorting lives there
+// so the inline-analytics observer and the merge share ONE sort instead
+// of each paying their own); cuts the output into `threads` balanced
+// partitions with splitters drawn from the largest run, then
+// tournament-merges every partition concurrently into its preallocated
+// output slice.
 template <typename Out>
 void parallel_merge(std::vector<std::vector<SeqRecord>>& shards, bool by_time,
                     unsigned threads, std::vector<Out>& out) {
   bool (*cmp)(const SeqRecord&, const SeqRecord&) =
       by_time ? &seq_time_order : &seq_only_order;
-
-  run_parallel(threads, shards.size(), [&](std::size_t s) {
-    std::sort(shards[s].begin(), shards[s].end(), cmp);
-  });
 
   std::size_t total = 0;
   for (const auto& shard : shards) total += shard.size();
@@ -393,7 +394,9 @@ void parallel_merge(std::vector<std::vector<SeqRecord>>& shards, bool by_time,
 // cross-window, via `carry`) session state sees one continuous session
 // history — then clean per shard. `decoded` must already be sorted by
 // (file, chunk). Each shard is touched by exactly one job, so the carry
-// maps need no locking.
+// maps need no locking. On return every shard is sorted in final merge
+// order — the precondition of parallel_merge and the order the inline
+// shard observer sees (each shard's exact subsequence of the output).
 void gather_and_clean(std::vector<DecodedChunk>& decoded,
                       const IngestOptions& options, unsigned threads,
                       std::vector<cleaning::SecondCarry>* carry,
@@ -414,6 +417,14 @@ void gather_and_clean(std::vector<DecodedChunk>& decoded,
       sort_seq_records(shards[s]);
       reports[s] = cleaning::run(shards[s], *options.cleaning,
                                  carry != nullptr ? &(*carry)[s] : nullptr);
+    }
+    // Establish final merge order once per shard (cleaning can perturb
+    // (time, seq) order: sub-second spacing moves stamps forward); both
+    // the observer and parallel_merge consume it.
+    std::sort(shards[s].begin(), shards[s].end(),
+              options.sort_by_time ? &seq_time_order : &seq_only_order);
+    if (options.shard_observer && !shards[s].empty()) {
+      options.shard_observer(s, shards[s]);
     }
   });
   for (const CleaningReport& r : reports) {

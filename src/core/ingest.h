@@ -51,10 +51,18 @@
 #include <string>
 #include <vector>
 
+#include "core/cleaning.h"
 #include "core/stream.h"
 #include "sim/collector.h"
 
 namespace bgpcc::core {
+
+/// Number of SessionKey-hash shards the engine uses. Fixed (not
+/// thread-derived) so the shard assignment — and with it every per-shard
+/// cleaning and observation decision — is identical no matter how many
+/// workers run. Exported so inline analytics (analytics/driver.h) can
+/// size one state set per shard.
+inline constexpr std::size_t kIngestShards = 16;
 
 /// Knobs for the parallel ingestion engine.
 struct IngestOptions {
@@ -94,6 +102,20 @@ struct IngestOptions {
   /// the archives-larger-than-RAM configuration. Ignored in batch mode
   /// (window_records == 0), which never materializes runs.
   std::string spill_dir;
+  /// Optional per-shard observer: the inline-analytics hook
+  /// (analytics/driver.h installs one via AnalysisDriver::attach). Called
+  /// once per non-empty shard per window, after cleaning, with the
+  /// shard's records sorted in final merge order — i.e. exactly this
+  /// shard's subsequence of the output stream. Calls for different
+  /// shards may run concurrently on the worker pool (each shard index is
+  /// driven by one thread at a time); calls for the same shard across
+  /// successive windows are sequenced by the window barrier. Restricted
+  /// to any one session, the observed order equals the final stream
+  /// order; across sessions, windowed runs interleave shards in window
+  /// order rather than global time order — so observers must not depend
+  /// on cross-session ordering (the analytics::Pass contract).
+  std::function<void(std::size_t shard, const std::vector<SeqRecord>&)>
+      shard_observer;
 };
 
 /// Observability counters for one ingestion run. The counting fields

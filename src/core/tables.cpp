@@ -90,6 +90,19 @@ std::string format_double(double value, int decimals) {
   return buf;
 }
 
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 void write_csv(const std::string& path,
                const std::vector<std::string>& headers,
                const std::vector<std::vector<std::string>>& rows) {
@@ -98,7 +111,7 @@ void write_csv(const std::string& path,
   auto write_row = [&out](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out << ',';
-      out << row[i];
+      out << csv_escape(row[i]);
     }
     out << '\n';
   };

@@ -34,7 +34,14 @@ class TextTable {
 /// Fixed decimals: format_double(1.2345, 2) -> "1.23".
 [[nodiscard]] std::string format_double(double value, int decimals = 2);
 
-/// Writes rows as CSV (no quoting — callers pass clean cells).
+/// RFC 4180 cell escaping: cells containing a comma, double quote, CR,
+/// or LF are wrapped in double quotes with embedded quotes doubled;
+/// clean cells pass through verbatim.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+/// Writes rows as CSV. Cells are escaped with csv_escape, so community
+/// strings, session labels, and free-text columns round-trip through
+/// spreadsheet tools regardless of content.
 void write_csv(const std::string& path,
                const std::vector<std::string>& headers,
                const std::vector<std::vector<std::string>>& rows);

@@ -1,6 +1,7 @@
 #include "core/tomography.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace bgpcc::core {
 
@@ -20,51 +21,59 @@ const char* label(CommunityBehavior behavior) {
   return "?";
 }
 
-std::vector<AsEvidence> infer_community_behavior(
-    const UpdateStream& stream, const TomographyOptions& options) {
-  std::map<Asn, AsEvidence> evidence;
+AsEvidence& AsEvidence::operator+=(const AsEvidence& other) {
+  on_path += other.on_path;
+  own_namespace_tagged += other.own_namespace_tagged;
+  as_peer += other.as_peer;
+  as_peer_with_communities += other.as_peer_with_communities;
+  as_peer_with_foreign += other.as_peer_with_foreign;
+  return *this;
+}
 
-  for (const UpdateRecord& record : stream.records()) {
-    if (!record.announcement) continue;
-    std::vector<Asn> path = record.attrs.as_path.dedup_sequence();
-    if (path.empty()) continue;
+void accumulate_community_evidence(const UpdateRecord& record,
+                                   std::map<Asn, AsEvidence>& evidence) {
+  if (!record.announcement) return;
+  std::vector<Asn> path = record.attrs.as_path.dedup_sequence();
+  if (path.empty()) return;
 
-    for (std::size_t i = 0; i < path.size(); ++i) {
-      Asn asn = path[i];
-      AsEvidence& e = evidence.try_emplace(asn, AsEvidence{asn}).first->second;
-      ++e.on_path;
-      if (asn.is_2byte()) {
-        std::uint16_t asn16 = static_cast<std::uint16_t>(asn.value());
-        for (Community c : record.attrs.communities) {
-          if (c.asn16() == asn16) {
-            ++e.own_namespace_tagged;
-            break;
-          }
-        }
-      }
-    }
-
-    // Peer-level evidence: the first AS on the path feeds the collector.
-    Asn peer = path.front();
-    AsEvidence& pe = evidence.at(peer);
-    ++pe.as_peer;
-    if (!record.attrs.communities.empty()) {
-      ++pe.as_peer_with_communities;
-      // Foreign community: namespace of an AS deeper in the path.
-      bool foreign = false;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    Asn asn = path[i];
+    AsEvidence& e = evidence.try_emplace(asn, AsEvidence{asn}).first->second;
+    ++e.on_path;
+    if (asn.is_2byte()) {
+      std::uint16_t asn16 = static_cast<std::uint16_t>(asn.value());
       for (Community c : record.attrs.communities) {
-        for (std::size_t i = 1; i < path.size() && !foreign; ++i) {
-          if (path[i].is_2byte() &&
-              c.asn16() == static_cast<std::uint16_t>(path[i].value())) {
-            foreign = true;
-          }
+        if (c.asn16() == asn16) {
+          ++e.own_namespace_tagged;
+          break;
         }
-        if (foreign) break;
       }
-      if (foreign) ++pe.as_peer_with_foreign;
     }
   }
 
+  // Peer-level evidence: the first AS on the path feeds the collector.
+  Asn peer = path.front();
+  AsEvidence& pe = evidence.at(peer);
+  ++pe.as_peer;
+  if (!record.attrs.communities.empty()) {
+    ++pe.as_peer_with_communities;
+    // Foreign community: namespace of an AS deeper in the path.
+    bool foreign = false;
+    for (Community c : record.attrs.communities) {
+      for (std::size_t i = 1; i < path.size() && !foreign; ++i) {
+        if (path[i].is_2byte() &&
+            c.asn16() == static_cast<std::uint16_t>(path[i].value())) {
+          foreign = true;
+        }
+      }
+      if (foreign) break;
+    }
+    if (foreign) ++pe.as_peer_with_foreign;
+  }
+}
+
+std::vector<AsEvidence> finalize_community_behavior(
+    std::map<Asn, AsEvidence> evidence, const TomographyOptions& options) {
   std::vector<AsEvidence> out;
   out.reserve(evidence.size());
   for (auto& [asn, e] : evidence) {
@@ -106,6 +115,15 @@ std::vector<AsEvidence> infer_community_behavior(
               return a.on_path > b.on_path;
             });
   return out;
+}
+
+std::vector<AsEvidence> infer_community_behavior(
+    const UpdateStream& stream, const TomographyOptions& options) {
+  std::map<Asn, AsEvidence> evidence;
+  for (const UpdateRecord& record : stream.records()) {
+    accumulate_community_evidence(record, evidence);
+  }
+  return finalize_community_behavior(std::move(evidence), options);
 }
 
 }  // namespace bgpcc::core

@@ -39,6 +39,12 @@ struct AsEvidence {
   std::uint64_t as_peer_with_foreign = 0;
 
   CommunityBehavior classification = CommunityBehavior::kUnknown;
+
+  /// Sums the evidence counters (classification is recomputed by
+  /// finalize_community_behavior, not merged) — the associative merge of
+  /// shard-parallel tomography.
+  AsEvidence& operator+=(const AsEvidence& other);
+  friend bool operator==(const AsEvidence&, const AsEvidence&) = default;
 };
 
 /// Inference thresholds (fractions in [0,1]).
@@ -61,5 +67,17 @@ struct TomographyOptions {
 /// are classified from peer-level evidence alone.
 [[nodiscard]] std::vector<AsEvidence> infer_community_behavior(
     const UpdateStream& stream, const TomographyOptions& options = {});
+
+/// Folds one announcement's evidence into `evidence` (withdrawals are
+/// ignored). The order-independent accumulation kernel shared by
+/// infer_community_behavior and analytics::TomographyPass.
+void accumulate_community_evidence(const UpdateRecord& record,
+                                   std::map<Asn, AsEvidence>& evidence);
+
+/// Applies the thresholds and sorts by on-path volume, descending — the
+/// projection step of infer_community_behavior, shared with the
+/// analytics pass so both paths classify identically.
+[[nodiscard]] std::vector<AsEvidence> finalize_community_behavior(
+    std::map<Asn, AsEvidence> evidence, const TomographyOptions& options);
 
 }  // namespace bgpcc::core

@@ -55,6 +55,30 @@ TEST(TextTable, ShortRowsPadded) {
   EXPECT_NO_THROW((void)table.to_string());
 }
 
+TEST(Csv, EscapesCells) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(csv_escape("cr\rlf"), "\"cr\rlf\"");
+}
+
+TEST(Csv, QuotesDirtyCellsOnDisk) {
+  std::string path = ::testing::TempDir() + "/bgpcc_tables_quoting.csv";
+  write_csv(path, {"communities", "note"},
+            {{"65000:1 65000:2", "a,b"}, {"x", "he said \"go\""}});
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "communities,note");
+  std::getline(in, line);
+  EXPECT_EQ(line, "65000:1 65000:2,\"a,b\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,\"he said \"\"go\"\"\"");
+  std::remove(path.c_str());
+}
+
 TEST(Csv, WritesRows) {
   std::string path = ::testing::TempDir() + "/bgpcc_tables_test.csv";
   write_csv(path, {"h1", "h2"}, {{"1", "2"}, {"3", "4"}});

@@ -28,6 +28,16 @@ uploads the file as an artifact and re-downloads it next run, so the
 full per-commit median history accumulates instead of only
 last-vs-current surviving.
 
+Summary-render mode (per-benchmark median charts for the CI job page):
+
+    bench_compare.py --render-summary BENCH_trajectory.json \
+        [--max-points 30] >> "$GITHUB_STEP_SUMMARY"
+
+Emits GitHub-flavored markdown: one collapsible Mermaid xychart per
+benchmark, x = the trailing commits (short SHAs), y = median throughput
+— the rolling trajectory as a picture instead of a JSON blob. A missing
+or corrupt trajectory renders a note, never fails the job.
+
 Stdlib only: runs on a bare CI runner.
 """
 
@@ -185,6 +195,89 @@ def append_trajectory(current_path, trajectory_path, commit, date,
     return 0
 
 
+def load_trajectory_entries(trajectory_path):
+    """Well-formed trajectory entries, or None (warned) when unusable."""
+    try:
+        with open(trajectory_path) as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        warn("cannot read %s (%s); nothing to render" % (trajectory_path,
+                                                         exc))
+        return None
+    entries = data.get("entries") if isinstance(data, dict) else None
+    if not isinstance(entries, list):
+        warn("%s has no entries list; nothing to render" % trajectory_path)
+        return None
+    usable = [e for e in entries
+              if isinstance(e, dict) and isinstance(e.get("benchmarks"),
+                                                    dict)]
+    return usable or None
+
+
+def mermaid_quote(label):
+    """Quotes a label for a Mermaid x-axis list (no embedded quotes)."""
+    return '"%s"' % str(label).replace('"', "'")
+
+
+def mermaid_number(value):
+    """Plain-decimal rendering: Mermaid's xychart number grammar rejects
+    exponents, so 2.5e+07 must become 25000000."""
+    if abs(value) >= 1000:
+        text = "%.0f" % value
+    elif abs(value) >= 1:
+        text = "%.6f" % value
+    else:
+        text = "%.9f" % value
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return text or "0"
+
+
+def render_summary(trajectory_path, max_points, out=sys.stdout):
+    """Markdown job summary: one Mermaid xychart per benchmark."""
+    print("## Benchmark trajectory", file=out)
+    entries = load_trajectory_entries(trajectory_path)
+    if not entries:
+        print("\n_No usable trajectory data yet (first run seeds it)._",
+              file=out)
+        return 0
+    if max_points > 0:
+        entries = entries[-max_points:]
+
+    names = sorted({name for e in entries for name in e["benchmarks"]})
+    commits = [str(e.get("commit", "?"))[:7] for e in entries]
+    print("\n%d benchmarks x %d commits (median throughput; gaps where a "
+          "benchmark is absent render as 0)\n" % (len(names), len(entries)),
+          file=out)
+    for name in names:
+        values = []
+        for e in entries:
+            value = e["benchmarks"].get(name)
+            values.append(float(value) if isinstance(value, (int, float))
+                          else 0.0)
+        # One line per benchmark, collapsed: the summary page stays
+        # skimmable with dozens of benchmarks. A benchmark missing from
+        # the newest entry (renamed/removed) is labeled as absent, not
+        # shown as a collapse to zero.
+        if name in entries[-1]["benchmarks"]:
+            latest = "latest %.3g" % values[-1]
+        else:
+            latest = "absent in latest run"
+        print("<details><summary><code>%s</code> (%s)</summary>\n"
+              % (name, latest), file=out)
+        print("```mermaid", file=out)
+        print("xychart-beta", file=out)
+        print('    title "%s"' % name.replace('"', "'"), file=out)
+        print("    x-axis [%s]" % ", ".join(mermaid_quote(c)
+                                            for c in commits), file=out)
+        print('    y-axis "throughput"', file=out)
+        print("    line [%s]" % ", ".join(mermaid_number(v)
+                                          for v in values), file=out)
+        print("```", file=out)
+        print("\n</details>\n", file=out)
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -197,6 +290,13 @@ def main():
     parser.add_argument("--append-trajectory", metavar="FILE",
                         help="append CURRENT's medians to this rolling "
                              "trajectory JSON instead of comparing")
+    parser.add_argument("--render-summary", action="store_true",
+                        help="render the trajectory file (the sole "
+                             "positional argument) as per-benchmark "
+                             "Mermaid charts on stdout")
+    parser.add_argument("--max-points", type=int, default=30,
+                        help="trailing trajectory entries per chart in "
+                             "--render-summary (0 = all)")
     parser.add_argument("--commit", default="unknown",
                         help="commit sha recorded in the trajectory entry")
     parser.add_argument("--date", default="unknown",
@@ -205,6 +305,10 @@ def main():
                         help="cap trajectory length (0 = unlimited)")
     args = parser.parse_args()
 
+    if args.render_summary:
+        if len(args.files) != 1:
+            parser.error("summary mode takes exactly one file (TRAJECTORY)")
+        return render_summary(args.files[0], args.max_points)
     if args.append_trajectory:
         if len(args.files) != 1:
             parser.error("trajectory mode takes exactly one file (CURRENT)")
