@@ -6,6 +6,8 @@
 // geo-tags: community exploration.
 #include <cstdio>
 
+#include "analytics/driver.h"
+#include "analytics/passes.h"
 #include "core/beacon.h"
 #include "core/tables.h"
 #include "synth/beacon_internet.h"
@@ -84,7 +86,12 @@ int main() {
                   counts.count(core::AnnouncementType::kNn)));
   std::printf("  inside withdrawal phases: %d / %d\n", in_withdraw_phase,
               cumulative);
-  auto events = find_community_exploration(stream, schedule);
+  // Exploration detection off the analytics engine: ExplorationPass over
+  // the same stream, run-state carried per (session, prefix).
+  analytics::AnalysisDriver driver;
+  auto exploration = driver.add(analytics::ExplorationPass{schedule});
+  driver.observe_stream(stream);
+  auto events = driver.report(exploration);
   std::printf("  community-exploration events across all sessions: %zu\n",
               events.size());
   return 0;

@@ -7,6 +7,8 @@
 // exclusive ratio stays stable around 60%.
 #include <cstdio>
 
+#include "analytics/driver.h"
+#include "analytics/passes.h"
 #include "core/beacon.h"
 #include "core/tables.h"
 #include "synth/beacon_internet.h"
@@ -39,8 +41,13 @@ int main() {
                                      (2020 - year) * 365ll * 86400);
     synth::BeaconInternet internet(options);
     internet.run_day(schedule);
-    core::RevealedStats stats =
-        core::analyze_revealed(internet.stream(), schedule);
+    // The revealed statistic off the analytics engine: RevealedPass over
+    // the day's stream — same phase buckets the streaming/inline modes
+    // accumulate shard-parallel on real archives.
+    analytics::AnalysisDriver driver;
+    auto revealed = driver.add(analytics::RevealedPass{schedule});
+    driver.observe_stream(internet.stream());
+    core::RevealedStats stats = driver.report(revealed);
 
     if (year == 2010) first_total = stats.total_unique;
     last_stats = stats;

@@ -375,6 +375,41 @@ BENCHMARK(BM_AnalyzeSink)
     ->Args({4, 4096})
     ->UseRealTime();
 
+// The §6/§7 anomaly + beacon passes riding ingest inline — the port that
+// unlocked streaming multi-month archives for the Figure 4/6 and anomaly
+// kernels. Same pre-clean denominator as BM_AnalyzeInline/Sink, so the
+// three benchmarks compare per-record cost of the different pass sets.
+void BM_AnomalyInline(benchmark::State& state) {
+  static const std::string archive = synthetic_ingest_archive(64, 256);
+  core::Registry registry = ingest_bench_registry();
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  std::size_t records = 0;
+  for (auto _ : state) {
+    analytics::AnalysisDriver driver;
+    auto anomalies = driver.add(analytics::AnomalyPass{});
+    auto revealed = driver.add(analytics::RevealedPass{});
+    auto exploration = driver.add(analytics::ExplorationPass{});
+    auto usage = driver.add(analytics::UsageClassificationPass{});
+    core::IngestOptions options;
+    options.num_threads = static_cast<unsigned>(state.range(0));
+    options.chunk_records = 1024;
+    options.cleaning = &cleaning;
+    driver.attach(options);
+    std::istringstream in(archive);
+    core::IngestResult result = core::ingest_mrt_stream("bench", in, options);
+    records = result.stats.records;
+    benchmark::DoNotOptimize(driver.report(anomalies));
+    benchmark::DoNotOptimize(driver.report(revealed));
+    benchmark::DoNotOptimize(driver.report(exploration));
+    benchmark::DoNotOptimize(driver.report(usage));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AnomalyInline)->Arg(1)->Arg(4)->UseRealTime();
+
 void BM_DecisionCompare(benchmark::State& state) {
   Route a;
   a.prefix = Prefix::from_string("84.205.64.0/24");

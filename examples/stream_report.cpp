@@ -4,8 +4,9 @@
 // A small beacon internet runs one simulated day; each collector's log
 // is written as a gzip-compressed MRT archive (exactly the shape of a
 // RouteViews/RIS download directory); then a single windowed ingestion
-// run cleans the stream while ClassifierPass, CommunityStatsPass, and
-// DuplicateBurstPass observe inline on the shard threads. Window runs
+// run cleans the stream while ClassifierPass, CommunityStatsPass,
+// DuplicateBurstPass, AnomalyPass, RevealedPass, and
+// UsageClassificationPass observe inline on the shard threads. Window runs
 // spill to disk and the final merged records flow through a discarding
 // sink, so NO cleaned stream is ever materialized: peak memory is
 // O(window + shards + pass state), the configuration that scales to
@@ -67,6 +68,15 @@ int main() {
   auto types = driver.add(analytics::ClassifierPass{});
   auto communities = driver.add(analytics::CommunityStatsPass{});
   auto duplicates = driver.add(analytics::DuplicateBurstPass{});
+  core::AnomalyOptions anomaly_options;
+  anomaly_options.min_classified = 20;
+  anomaly_options.novelty_min_occurrences = 50;
+  auto anomalies = driver.add(analytics::AnomalyPass{anomaly_options});
+  core::BeaconSchedule schedule;  // the simulated day runs the RIS default
+  auto revealed = driver.add(analytics::RevealedPass{schedule});
+  core::UsageOptions usage_options;
+  usage_options.min_occurrences = 5;
+  auto usage = driver.add(analytics::UsageClassificationPass{usage_options});
 
   core::IngestOptions ingest;
   ingest.num_threads = 0;        // hardware concurrency
@@ -123,6 +133,46 @@ int main() {
               core::with_commas(d.nn).c_str(),
               core::with_commas(d.classified).c_str(),
               core::with_commas(d.bursts).c_str());
+
+  // 6. Anomaly scan (§7): duplicate outliers + novelty bursts — the same
+  // kernels as core::detect_anomalies, accumulated on the shard threads.
+  core::AnomalyReport a = driver.report(anomalies);
+  std::printf("\nanomaly scan: population nn share mean %s (stddev %s); "
+              "%zu duplicate outliers, %zu novelty bursts\n",
+              core::percent(a.population_mean_nn_share).c_str(),
+              core::percent(a.population_stddev_nn_share).c_str(),
+              a.duplicate_outliers.size(), a.novelty_bursts.size());
+  for (std::size_t i = 0; i < a.novelty_bursts.size() && i < 3; ++i) {
+    const core::NoveltyBurst& burst = a.novelty_bursts[i];
+    std::printf("  burst: %s x%s from %s\n",
+                burst.community.to_string().c_str(),
+                core::with_commas(burst.occurrences).c_str(),
+                burst.first_seen.time_of_day_string().substr(0, 8).c_str());
+  }
+
+  // 7. Revealed information (§6 / Figure 6).
+  core::RevealedStats r = driver.report(revealed);
+  std::printf("revealed attributes: %s unique; withdrawal-only %s, "
+              "announce-only %s, ambiguous %s\n",
+              core::with_commas(r.total_unique).c_str(),
+              core::percent(r.withdrawal_ratio()).c_str(),
+              core::with_commas(r.announce_only).c_str(),
+              core::with_commas(r.ambiguous).c_str());
+
+  // 8. Per-AS community usage (Krenc et al., IMC 2021).
+  analytics::UsageClassificationPass::Report u = driver.report(usage);
+  core::TextTable usage_table(
+      {"namespace", "profile", "occurrences", "values", "sessions"});
+  for (std::size_t i = 0; i < u.size() && i < 6; ++i) {
+    const core::AsUsage& as_usage = u[i];
+    usage_table.add_row({std::to_string(as_usage.asn16),
+                         core::label(as_usage.profile),
+                         core::with_commas(as_usage.occurrences),
+                         core::with_commas(as_usage.distinct_values),
+                         core::with_commas(as_usage.sessions)});
+  }
+  std::printf("\ncommunity usage by namespace:\n%s",
+              usage_table.to_string().c_str());
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);

@@ -1,6 +1,10 @@
 #include "analytics/passes.h"
 
 #include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "netbase/error.h"
 
 namespace bgpcc::analytics {
 
@@ -153,6 +157,57 @@ DuplicateBurstPass::Report DuplicateBurstPass::State::report() const {
               return a.session < b.session;
             });
   return report;
+}
+
+// ---------------------------------------------------------------------------
+// AnomalyPass
+
+void AnomalyPass::validate_options(const core::AnomalyOptions& options) {
+  if (options.novelty_window.count_micros() <= 0) {
+    throw ConfigError("AnomalyPass: novelty_window must be positive");
+  }
+}
+
+void AnomalyPass::State::observe(const core::UpdateRecord& record) {
+  classifiers_[record.session].classify(record);
+  core::accumulate_novelty(record, options_.novelty_window, novelty_);
+}
+
+void AnomalyPass::State::merge(State&& other) {
+  for (auto& [session, classifier] : other.classifiers_) {
+    auto [it, inserted] =
+        classifiers_.try_emplace(session, std::move(classifier));
+    if (!inserted) it->second.merge(std::move(classifier));
+  }
+  core::merge_novelty(novelty_, std::move(other.novelty_));
+}
+
+AnomalyPass::Report AnomalyPass::State::report() const {
+  core::AnomalyReport report;
+  core::score_duplicate_outliers(classifiers_, options_, report);
+  report.novelty_bursts = core::finalize_novelty_bursts(novelty_, options_);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// ExplorationPass
+
+void ExplorationPass::State::merge(State&& other) {
+  // Streams are disjoint across shard states; map::merge keeps ours on a
+  // contract violation.
+  runs_.merge(std::move(other.runs_));
+  events_.insert(events_.end(),
+                 std::make_move_iterator(other.events_.begin()),
+                 std::make_move_iterator(other.events_.end()));
+}
+
+ExplorationPass::Report ExplorationPass::State::report() const {
+  Report events = events_;
+  // Flush still-active runs on copies: report() is const and repeatable.
+  core::ExplorationRuns active = runs_;
+  core::flush_exploration(active, events);
+  core::sort_exploration_events(events);
+  return events;
 }
 
 }  // namespace bgpcc::analytics

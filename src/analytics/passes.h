@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "analytics/pass.h"
+#include "core/anomaly.h"
+#include "core/beacon.h"
 #include "core/classifier.h"
 #include "core/stream.h"
 #include "core/tomography.h"
@@ -261,6 +263,154 @@ class DuplicateBurstPass {
 
  private:
   DuplicateBurstOptions options_;
+};
+
+/// §7 anomaly detection (core/anomaly) as a Pass: per-session classifier
+/// tallies plus the bucketed novelty evidence accumulate per shard;
+/// merge sums both; the leave-one-out sigma scoring and burst-episode
+/// scan run once in report(). Streaming-windowed by construction — the
+/// per-shard state carries across window cuts, so multi-month compressed
+/// archives get the same report as a materialized batch.
+class AnomalyPass {
+ public:
+  AnomalyPass() { validate_options(options_); }
+  explicit AnomalyPass(core::AnomalyOptions options) : options_(options) {
+    validate_options(options_);
+  }
+
+  using Report = core::AnomalyReport;
+
+  class State {
+   public:
+    explicit State(const core::AnomalyOptions& options) : options_(options) {}
+    void observe(const core::UpdateRecord& record);
+    void merge(State&& other);
+    [[nodiscard]] Report report() const;
+
+   private:
+    core::AnomalyOptions options_;
+    std::map<core::SessionKey, core::Classifier> classifiers_;
+    core::NoveltyEvidence novelty_;
+  };
+
+  [[nodiscard]] State make_state() const { return State{options_}; }
+
+ private:
+  static void validate_options(const core::AnomalyOptions& options);
+  core::AnomalyOptions options_;
+};
+
+/// §6 revealed information (Figure 6) as a Pass: per-attribute phase
+/// buckets keyed on the full CommunitySet value; buckets OR under merge.
+/// The schedule is validated at construction (ConfigError), so a
+/// misconfiguration fails on the caller's thread before any ingestion
+/// worker runs.
+class RevealedPass {
+ public:
+  RevealedPass() { schedule_.validate(); }
+  explicit RevealedPass(core::BeaconSchedule schedule) : schedule_(schedule) {
+    schedule_.validate();
+  }
+
+  using Report = core::RevealedStats;
+
+  class State {
+   public:
+    explicit State(const core::BeaconSchedule& schedule)
+        : schedule_(schedule) {}
+    void observe(const core::UpdateRecord& record) {
+      core::accumulate_revealed(record, schedule_, evidence_);
+    }
+    void merge(State&& other) {
+      core::merge_revealed(evidence_, std::move(other.evidence_));
+    }
+    [[nodiscard]] Report report() const {
+      return core::finalize_revealed(evidence_);
+    }
+
+   private:
+    core::BeaconSchedule schedule_;
+    core::RevealedEvidence evidence_;
+  };
+
+  [[nodiscard]] State make_state() const { return State{schedule_}; }
+
+ private:
+  core::BeaconSchedule schedule_;
+};
+
+/// §6 community exploration (Figure 4) as a Pass: per-(session, prefix)
+/// run state that legally carries across window cuts — each stream lives
+/// wholly inside one shard and the engine preserves per-session order,
+/// exactly the invariant cleaning::SecondCarry relies on for §4.
+/// report() flushes still-active runs and sorts all events by
+/// (begin, session, prefix), matching find_community_exploration.
+class ExplorationPass {
+ public:
+  ExplorationPass() { schedule_.validate(); }
+  explicit ExplorationPass(core::BeaconSchedule schedule)
+      : schedule_(schedule) {
+    schedule_.validate();
+  }
+
+  using Report = std::vector<core::ExplorationEvent>;
+
+  class State {
+   public:
+    explicit State(const core::BeaconSchedule& schedule)
+        : schedule_(schedule) {}
+    void observe(const core::UpdateRecord& record) {
+      core::observe_exploration(record, schedule_, runs_, events_);
+    }
+    void merge(State&& other);
+    [[nodiscard]] Report report() const;
+
+   private:
+    core::BeaconSchedule schedule_;
+    core::ExplorationRuns runs_;
+    std::vector<core::ExplorationEvent> events_;
+  };
+
+  [[nodiscard]] State make_state() const { return State{schedule_}; }
+
+ private:
+  core::BeaconSchedule schedule_;
+};
+
+/// Per-AS community usage classification (Krenc et al., IMC 2021) as a
+/// Pass: layers the usage heuristics over CommunityStatsPass-style
+/// per-value evidence — occurrence counts per 32-bit value plus the
+/// sessions carrying each 16-bit namespace.
+class UsageClassificationPass {
+ public:
+  UsageClassificationPass() = default;
+  explicit UsageClassificationPass(core::UsageOptions options)
+      : options_(options) {}
+
+  using Report = std::vector<core::AsUsage>;
+
+  class State {
+   public:
+    explicit State(const core::UsageOptions& options) : options_(options) {}
+    void observe(const core::UpdateRecord& record) {
+      core::accumulate_usage(record, evidence_);
+    }
+    void merge(State&& other) {
+      core::merge_usage(evidence_, std::move(other.evidence_));
+    }
+    [[nodiscard]] Report report() const {
+      return core::finalize_usage(evidence_, options_);
+    }
+
+   private:
+    core::UsageOptions options_;
+    core::UsageEvidence evidence_;
+  };
+
+  [[nodiscard]] State make_state() const { return State{options_}; }
+
+ private:
+  core::UsageOptions options_;
 };
 
 }  // namespace bgpcc::analytics

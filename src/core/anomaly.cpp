@@ -2,35 +2,98 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <utility>
+
+#include "netbase/error.h"
 
 namespace bgpcc::core {
+namespace {
 
-AnomalyReport detect_anomalies(const UpdateStream& stream,
-                               const AnomalyOptions& options) {
-  AnomalyReport report;
+std::int64_t novelty_bucket_index(Timestamp time, Duration window) {
+  std::int64_t width = window.count_micros();
+  std::int64_t micros = time.unix_micros();
+  std::int64_t index = micros / width;
+  // Floor division: pre-epoch timestamps must not fold onto epoch buckets.
+  if (micros % width != 0 && micros < 0) --index;
+  return index;
+}
 
-  // --- Per-session nn shares via the classifier.
-  std::map<SessionKey, Classifier> classifiers;
-  struct Novelty {
-    Timestamp first_seen;
-    std::uint64_t in_window = 0;
-  };
-  std::map<Community, Novelty> novelties;
+}  // namespace
 
-  for (const UpdateRecord& record : stream.records()) {
-    classifiers[record.session].classify(record);
-    if (record.announcement) {
-      for (Community c : record.attrs.communities) {
-        auto [it, fresh] = novelties.try_emplace(c, Novelty{record.time, 0});
-        if (fresh ||
-            record.time - it->second.first_seen <= options.novelty_window) {
-          ++it->second.in_window;
+void accumulate_novelty(const UpdateRecord& record, Duration novelty_window,
+                        NoveltyEvidence& evidence) {
+  if (novelty_window.count_micros() <= 0) {
+    throw ConfigError("AnomalyOptions::novelty_window must be positive");
+  }
+  if (!record.announcement) return;
+  std::int64_t index = novelty_bucket_index(record.time, novelty_window);
+  for (Community c : record.attrs.communities) {
+    auto [it, fresh] = evidence[c].try_emplace(
+        index, NoveltyBucket{0, record.time});
+    ++it->second.count;
+    if (record.time < it->second.earliest) it->second.earliest = record.time;
+  }
+}
+
+void merge_novelty(NoveltyEvidence& into, NoveltyEvidence&& from) {
+  for (auto& [community, buckets] : from) {
+    auto [cit, fresh] = into.try_emplace(community, std::move(buckets));
+    if (fresh) continue;
+    for (auto& [index, bucket] : buckets) {
+      auto [bit, inserted] = cit->second.try_emplace(index, bucket);
+      if (!inserted) {
+        bit->second.count += bucket.count;
+        if (bucket.earliest < bit->second.earliest) {
+          bit->second.earliest = bucket.earliest;
         }
       }
     }
   }
+}
 
+std::vector<NoveltyBurst> finalize_novelty_bursts(
+    const NoveltyEvidence& evidence, const AnomalyOptions& options) {
+  std::vector<NoveltyBurst> bursts;
+  for (const auto& [community, buckets] : evidence) {
+    NoveltyBurst best{community, Timestamp{}, 0};
+    bool have_best = false;
+    std::int64_t previous_index = 0;
+    bool have_previous = false;
+    for (auto it = buckets.begin(); it != buckets.end(); ++it) {
+      bool episode_start =
+          !have_previous || it->first != previous_index + 1;
+      previous_index = it->first;
+      have_previous = true;
+      if (!episode_start) continue;
+      std::uint64_t volume = it->second.count;
+      auto next = std::next(it);
+      if (next != buckets.end() && next->first == it->first + 1) {
+        volume += next->second.count;
+      }
+      // Largest episode wins; the earliest one on ties (iteration is in
+      // time order, so the first candidate at a given volume sticks).
+      if (!have_best || volume > best.occurrences) {
+        best = NoveltyBurst{community, it->second.earliest, volume};
+        have_best = true;
+      }
+    }
+    if (have_best && best.occurrences >= options.novelty_min_occurrences) {
+      bursts.push_back(best);
+    }
+  }
+  std::sort(bursts.begin(), bursts.end(),
+            [](const NoveltyBurst& a, const NoveltyBurst& b) {
+              if (a.occurrences != b.occurrences) {
+                return a.occurrences > b.occurrences;
+              }
+              return a.community < b.community;
+            });
+  return bursts;
+}
+
+void score_duplicate_outliers(
+    const std::map<SessionKey, Classifier>& classifiers,
+    const AnomalyOptions& options, AnomalyReport& report) {
   std::vector<DuplicateOutlier> sessions;
   double sum = 0.0;
   for (const auto& [key, classifier] : classifiers) {
@@ -43,6 +106,13 @@ AnomalyReport detect_anomalies(const UpdateStream& stream,
     entry.nn_share = counts.share(AnnouncementType::kNn);
     sessions.push_back(entry);
     sum += entry.nn_share;
+  }
+  if (sessions.size() == 1) {
+    // A population of one: its share IS the population; nothing to
+    // deviate from, so it can never be an outlier.
+    report.population_mean_nn_share = sessions.front().nn_share;
+    report.population_stddev_nn_share = 0.0;
+    return;
   }
   if (sessions.size() >= 2) {
     double n = static_cast<double>(sessions.size());
@@ -77,20 +147,28 @@ AnomalyReport detect_anomalies(const UpdateStream& stream,
     std::sort(report.duplicate_outliers.begin(),
               report.duplicate_outliers.end(),
               [](const DuplicateOutlier& a, const DuplicateOutlier& b) {
-                return a.sigma > b.sigma;
+                if (a.sigma != b.sigma) return a.sigma > b.sigma;
+                return a.session < b.session;
               });
   }
+}
 
-  for (const auto& [community, novelty] : novelties) {
-    if (novelty.in_window >= options.novelty_min_occurrences) {
-      report.novelty_bursts.push_back(
-          NoveltyBurst{community, novelty.first_seen, novelty.in_window});
-    }
+AnomalyReport detect_anomalies(const UpdateStream& stream,
+                               const AnomalyOptions& options) {
+  if (options.novelty_window.count_micros() <= 0) {
+    // Checked up front so an empty stream rejects the misconfiguration
+    // just as loudly as a populated one.
+    throw ConfigError("AnomalyOptions::novelty_window must be positive");
   }
-  std::sort(report.novelty_bursts.begin(), report.novelty_bursts.end(),
-            [](const NoveltyBurst& a, const NoveltyBurst& b) {
-              return a.occurrences > b.occurrences;
-            });
+  std::map<SessionKey, Classifier> classifiers;
+  NoveltyEvidence novelties;
+  for (const UpdateRecord& record : stream.records()) {
+    classifiers[record.session].classify(record);
+    accumulate_novelty(record, options.novelty_window, novelties);
+  }
+  AnomalyReport report;
+  score_duplicate_outliers(classifiers, options, report);
+  report.novelty_bursts = finalize_novelty_bursts(novelties, options);
   return report;
 }
 

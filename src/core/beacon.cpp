@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "netbase/error.h"
+
 namespace bgpcc::core {
 namespace {
 
@@ -16,7 +18,19 @@ bool in_phase(std::int64_t micros_of_day, Duration offset, Duration period,
 
 }  // namespace
 
+void BeaconSchedule::validate() const {
+  if (period.count_micros() <= 0) {
+    throw ConfigError("BeaconSchedule: period must be positive");
+  }
+  if (window >= period) {
+    throw ConfigError(
+        "BeaconSchedule: window must be shorter than the period — every "
+        "instant would be inside every phase");
+  }
+}
+
 BeaconSchedule::Phase BeaconSchedule::label(Timestamp time) const {
+  validate();
   std::int64_t micros = time.micros_of_day();
   if (in_phase(micros, withdraw_offset, period, window)) {
     return Phase::kWithdraw;
@@ -29,6 +43,7 @@ BeaconSchedule::Phase BeaconSchedule::label(Timestamp time) const {
 
 std::vector<Timestamp> BeaconSchedule::announce_times(
     Timestamp day_start) const {
+  validate();
   std::vector<Timestamp> out;
   for (Duration t = announce_offset; t < Duration::hours(24);
        t = t + period) {
@@ -39,6 +54,7 @@ std::vector<Timestamp> BeaconSchedule::announce_times(
 
 std::vector<Timestamp> BeaconSchedule::withdraw_times(
     Timestamp day_start) const {
+  validate();
   std::vector<Timestamp> out;
   for (Duration t = withdraw_offset; t < Duration::hours(24);
        t = t + period) {
@@ -59,32 +75,42 @@ const char* label(BeaconSchedule::Phase phase) {
   return "?";
 }
 
-RevealedStats analyze_revealed(const UpdateStream& stream,
-                               const BeaconSchedule& schedule) {
-  struct Buckets {
-    bool announce = false;
-    bool withdraw = false;
-    bool outside = false;
-  };
-  std::map<CommunitySet, Buckets> seen;
-  for (const UpdateRecord& record : stream.records()) {
-    if (!record.announcement || record.attrs.communities.empty()) continue;
-    Buckets& b = seen[record.attrs.communities];
-    switch (schedule.label(record.time)) {
-      case BeaconSchedule::Phase::kAnnounce:
-        b.announce = true;
-        break;
-      case BeaconSchedule::Phase::kWithdraw:
-        b.withdraw = true;
-        break;
-      case BeaconSchedule::Phase::kOutside:
-        b.outside = true;
-        break;
+// ---------------------------------------------------------------------------
+// Revealed information (Figure 6).
+
+void accumulate_revealed(const UpdateRecord& record,
+                         const BeaconSchedule& schedule,
+                         RevealedEvidence& evidence) {
+  if (!record.announcement || record.attrs.communities.empty()) return;
+  PhaseBuckets& b = evidence[record.attrs.communities];
+  switch (schedule.label(record.time)) {
+    case BeaconSchedule::Phase::kAnnounce:
+      b.announce = true;
+      break;
+    case BeaconSchedule::Phase::kWithdraw:
+      b.withdraw = true;
+      break;
+    case BeaconSchedule::Phase::kOutside:
+      b.outside = true;
+      break;
+  }
+}
+
+void merge_revealed(RevealedEvidence& into, RevealedEvidence&& from) {
+  for (auto& [attr, buckets] : from) {
+    auto [it, fresh] = into.try_emplace(attr, buckets);
+    if (!fresh) {
+      it->second.announce |= buckets.announce;
+      it->second.withdraw |= buckets.withdraw;
+      it->second.outside |= buckets.outside;
     }
   }
+}
+
+RevealedStats finalize_revealed(const RevealedEvidence& evidence) {
   RevealedStats stats;
-  stats.total_unique = seen.size();
-  for (const auto& [attr, b] : seen) {
+  stats.total_unique = evidence.size();
+  for (const auto& [attr, b] : evidence) {
     int buckets = (b.announce ? 1 : 0) + (b.withdraw ? 1 : 0) +
                   (b.outside ? 1 : 0);
     if (buckets > 1) {
@@ -100,65 +126,100 @@ RevealedStats analyze_revealed(const UpdateStream& stream,
   return stats;
 }
 
+RevealedStats analyze_revealed(const UpdateStream& stream,
+                               const BeaconSchedule& schedule) {
+  schedule.validate();
+  RevealedEvidence evidence;
+  for (const UpdateRecord& record : stream.records()) {
+    accumulate_revealed(record, schedule, evidence);
+  }
+  return finalize_revealed(evidence);
+}
+
+// ---------------------------------------------------------------------------
+// Community exploration (Figure 4).
+
+namespace {
+
+void finish_run(ExplorationRun& run, std::vector<ExplorationEvent>& events) {
+  if (run.active && run.current.nc_count >= 2) {
+    run.current.distinct_attributes =
+        static_cast<int>(run.attrs_seen.size());
+    events.push_back(run.current);
+  }
+  run.active = false;
+  run.attrs_seen.clear();
+}
+
+}  // namespace
+
+void observe_exploration(const UpdateRecord& record,
+                         const BeaconSchedule& schedule, ExplorationRuns& runs,
+                         std::vector<ExplorationEvent>& events) {
+  auto key = std::make_pair(record.session, record.prefix);
+  ExplorationRun& run = runs[key];
+  if (!record.announcement) {
+    finish_run(run, events);
+    run.path.reset();
+    run.communities.reset();
+    return;
+  }
+  bool in_withdraw_phase =
+      schedule.label(record.time) == BeaconSchedule::Phase::kWithdraw;
+  bool same_path = run.path && *run.path == record.attrs.as_path;
+  bool comm_changed =
+      run.communities && *run.communities != record.attrs.communities;
+
+  if (same_path && comm_changed && in_withdraw_phase) {
+    if (!run.active) {
+      run.active = true;
+      run.current = ExplorationEvent{};
+      run.current.session = record.session;
+      run.current.prefix = record.prefix;
+      run.current.as_path = record.attrs.as_path;
+      run.current.begin = record.time;
+      run.current.nc_count = 0;
+      if (run.communities) run.attrs_seen[*run.communities] = 1;
+    }
+    ++run.current.nc_count;
+    run.current.end = record.time;
+    ++run.attrs_seen[record.attrs.communities];
+  } else if (!same_path || !in_withdraw_phase) {
+    finish_run(run, events);
+  }
+  run.path = record.attrs.as_path;
+  run.communities = record.attrs.communities;
+}
+
+void flush_exploration(ExplorationRuns& runs,
+                       std::vector<ExplorationEvent>& events) {
+  for (auto& [key, run] : runs) finish_run(run, events);
+}
+
+void sort_exploration_events(std::vector<ExplorationEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const ExplorationEvent& a, const ExplorationEvent& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              if (a.session != b.session) return a.session < b.session;
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              if (a.end != b.end) return a.end < b.end;
+              return a.nc_count < b.nc_count;
+            });
+}
+
 std::vector<ExplorationEvent> find_community_exploration(
     const UpdateStream& stream, const BeaconSchedule& schedule) {
-  // Per (session, prefix): the current run of same-path nc announcements.
-  struct RunState {
-    std::optional<AsPath> path;
-    std::optional<CommunitySet> communities;
-    ExplorationEvent current;
-    std::map<CommunitySet, int> attrs_seen;
-    bool active = false;
-  };
-  std::map<std::pair<SessionKey, Prefix>, RunState> runs;
+  schedule.validate();
+  ExplorationRuns runs;
   std::vector<ExplorationEvent> events;
-
-  auto finish = [&events](RunState& run) {
-    if (run.active && run.current.nc_count >= 2) {
-      run.current.distinct_attributes =
-          static_cast<int>(run.attrs_seen.size());
-      events.push_back(run.current);
-    }
-    run.active = false;
-    run.attrs_seen.clear();
-  };
-
   for (const UpdateRecord& record : stream.records()) {
-    auto key = std::make_pair(record.session, record.prefix);
-    RunState& run = runs[key];
-    if (!record.announcement) {
-      finish(run);
-      run.path.reset();
-      run.communities.reset();
-      continue;
-    }
-    bool in_withdraw_phase =
-        schedule.label(record.time) == BeaconSchedule::Phase::kWithdraw;
-    bool same_path = run.path && *run.path == record.attrs.as_path;
-    bool comm_changed =
-        run.communities && *run.communities != record.attrs.communities;
-
-    if (same_path && comm_changed && in_withdraw_phase) {
-      if (!run.active) {
-        run.active = true;
-        run.current = ExplorationEvent{};
-        run.current.session = record.session;
-        run.current.prefix = record.prefix;
-        run.current.as_path = record.attrs.as_path;
-        run.current.begin = record.time;
-        run.current.nc_count = 0;
-        if (run.communities) run.attrs_seen[*run.communities] = 1;
-      }
-      ++run.current.nc_count;
-      run.current.end = record.time;
-      ++run.attrs_seen[record.attrs.communities];
-    } else if (!same_path || !in_withdraw_phase) {
-      finish(run);
-    }
-    run.path = record.attrs.as_path;
-    run.communities = record.attrs.communities;
+    observe_exploration(record, schedule, runs, events);
   }
-  for (auto& [key, run] : runs) finish(run);
+  // End-of-stream flush walks the run map in key order, NOT in time
+  // order like the mid-stream finishes — the sort restores the single
+  // deterministic output order.
+  flush_exploration(runs, events);
+  sort_exploration_events(events);
   return events;
 }
 

@@ -1,12 +1,20 @@
 // Beacon-phase analysis (§6): phase labeling against the RIPE RIS beacon
 // schedule, the revealed-community-attribute statistic (Figure 6), and the
 // community-exploration detector (Figure 4's nc bursts).
+//
+// The revealed and exploration detectors are split into accumulate /
+// merge / finalize kernels (mirroring core/tomography) so the analytics
+// passes (analytics/passes.h) can run them per-shard on the ingestion
+// worker threads: phase buckets OR together, and per-(session, prefix)
+// run state lives wholly inside one shard, so it legally carries across
+// window cuts exactly like cleaning::SecondCarry threads the §4 state.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/classifier.h"
@@ -27,6 +35,13 @@ struct BeaconSchedule {
   Duration window = Duration::minutes(15);
 
   enum class Phase { kAnnounce, kWithdraw, kOutside };
+
+  /// Throws ConfigError when period <= 0 (label's modulo and the
+  /// phase-time iteration would divide by zero / never terminate) or
+  /// window >= period (every instant would fall inside every phase,
+  /// double-labeling the whole day). Offsets at or beyond the period are
+  /// fine: phases recur modulo the period.
+  void validate() const;
 
   [[nodiscard]] Phase label(Timestamp time) const;
 
@@ -52,10 +67,35 @@ struct RevealedStats {
                              : static_cast<double>(withdrawal_only) /
                                    static_cast<double>(total_unique);
   }
+  friend bool operator==(const RevealedStats&, const RevealedStats&) = default;
 };
 
+/// Which phases one community attribute has been observed in. ORs
+/// together under merge — a pure multiset summary.
+struct PhaseBuckets {
+  bool announce = false;
+  bool withdraw = false;
+  bool outside = false;
+};
+
+/// Per-attribute phase occupancy, keyed on the full CommunitySet value.
+using RevealedEvidence = std::map<CommunitySet, PhaseBuckets>;
+
+/// Folds one record into `evidence` (withdrawals and empty community
+/// attributes are ignored).
+void accumulate_revealed(const UpdateRecord& record,
+                         const BeaconSchedule& schedule,
+                         RevealedEvidence& evidence);
+
+/// ORs the phase buckets attribute by attribute.
+void merge_revealed(RevealedEvidence& into, RevealedEvidence&& from);
+
+/// Projects the evidence into the Figure-6 exclusivity statistic.
+[[nodiscard]] RevealedStats finalize_revealed(const RevealedEvidence& evidence);
+
 /// Counts unique community attributes (the full CommunitySet as a value)
-/// across all announcements, bucketed by phase exclusivity.
+/// across all announcements, bucketed by phase exclusivity: a thin
+/// wrapper around the accumulate/finalize kernels.
 [[nodiscard]] RevealedStats analyze_revealed(const UpdateStream& stream,
                                              const BeaconSchedule& schedule);
 
@@ -71,10 +111,44 @@ struct ExplorationEvent {
   int nc_count = 0;
   /// Distinct community attributes observed during the run.
   int distinct_attributes = 0;
+  friend bool operator==(const ExplorationEvent&,
+                         const ExplorationEvent&) = default;
 };
 
+/// The current run of same-path nc announcements on one (session, prefix)
+/// stream: the per-stream cursor of the exploration detector.
+struct ExplorationRun {
+  std::optional<AsPath> path;
+  std::optional<CommunitySet> communities;
+  ExplorationEvent current;
+  std::map<CommunitySet, int> attrs_seen;
+  bool active = false;
+};
+
+/// Per-stream run states. Each (session, prefix) evolves independently,
+/// so a SessionKey-sharded partition of these maps merges losslessly.
+using ExplorationRuns = std::map<std::pair<SessionKey, Prefix>, ExplorationRun>;
+
+/// Advances one stream's run state by one record (records must arrive in
+/// per-session chronological order); completed events are appended to
+/// `events` as their runs end.
+void observe_exploration(const UpdateRecord& record,
+                         const BeaconSchedule& schedule, ExplorationRuns& runs,
+                         std::vector<ExplorationEvent>& events);
+
+/// Flushes still-active runs at end of stream into `events`.
+void flush_exploration(ExplorationRuns& runs,
+                       std::vector<ExplorationEvent>& events);
+
+/// The deterministic output order: (begin, session, prefix), with end /
+/// nc_count tie-breaks for pathological equal-timestamp streams. Mid- and
+/// end-of-stream events sort identically regardless of which shard or
+/// window emitted them.
+void sort_exploration_events(std::vector<ExplorationEvent>& events);
+
 /// Scans a time-sorted stream for community-exploration events (>= 2 nc
-/// announcements on the same path within one withdrawal phase).
+/// announcements on the same path within one withdrawal phase), sorted by
+/// (begin, session, prefix): a thin wrapper around the kernels above.
 [[nodiscard]] std::vector<ExplorationEvent> find_community_exploration(
     const UpdateStream& stream, const BeaconSchedule& schedule);
 

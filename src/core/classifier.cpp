@@ -127,4 +127,134 @@ std::vector<std::pair<SessionKey, TypeCounts>> rank_session_types(
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Community usage classification (Krenc et al., IMC 2021).
+
+const char* label(CommunityUsage usage) {
+  switch (usage) {
+    case CommunityUsage::kLocation:
+      return "location";
+    case CommunityUsage::kTrafficEngineering:
+      return "traffic-eng";
+    case CommunityUsage::kBlackhole:
+      return "blackhole";
+    case CommunityUsage::kInformational:
+      return "informational";
+  }
+  return "??";
+}
+
+const char* label(UsageProfile profile) {
+  switch (profile) {
+    case UsageProfile::kLocation:
+      return "location";
+    case UsageProfile::kTrafficEngineering:
+      return "traffic-eng";
+    case UsageProfile::kBlackhole:
+      return "blackhole";
+    case UsageProfile::kInformational:
+      return "informational";
+    case UsageProfile::kMixed:
+      return "mixed";
+    case UsageProfile::kUnclassified:
+      return "unclassified";
+  }
+  return "??";
+}
+
+CommunityUsage classify_community_usage(Community community,
+                                        const UsageOptions& options) {
+  if (community.is_well_known()) {
+    return community.raw() == Community::kBlackholeRaw
+               ? CommunityUsage::kBlackhole
+               : CommunityUsage::kInformational;
+  }
+  std::uint16_t value = community.value16();
+  if (value == 666) return CommunityUsage::kBlackhole;
+  if (value < options.te_value_max) {
+    return CommunityUsage::kTrafficEngineering;
+  }
+  if ((value >= options.country_min && value <= options.country_max) ||
+      (value >= options.city_min && value <= options.city_max)) {
+    return CommunityUsage::kLocation;
+  }
+  return CommunityUsage::kInformational;
+}
+
+void accumulate_usage(const UpdateRecord& record, UsageEvidence& evidence) {
+  if (!record.announcement) return;
+  for (Community c : record.attrs.communities) {
+    ++evidence.value_occurrences[c.raw()];
+    evidence.namespace_sessions[c.asn16()].insert(record.session);
+  }
+}
+
+void merge_usage(UsageEvidence& into, UsageEvidence&& from) {
+  for (const auto& [value, count] : from.value_occurrences) {
+    into.value_occurrences[value] += count;
+  }
+  for (auto& [asn16, sessions] : from.namespace_sessions) {
+    auto [it, fresh] =
+        into.namespace_sessions.try_emplace(asn16, std::move(sessions));
+    if (!fresh) {
+      it->second.insert(sessions.begin(), sessions.end());
+    }
+  }
+}
+
+std::vector<AsUsage> finalize_usage(const UsageEvidence& evidence,
+                                    const UsageOptions& options) {
+  std::map<std::uint16_t, AsUsage> per_namespace;
+  for (const auto& [raw, count] : evidence.value_occurrences) {
+    Community community{raw};
+    AsUsage& usage = per_namespace[community.asn16()];
+    usage.asn16 = community.asn16();
+    usage.occurrences += count;
+    ++usage.distinct_values;
+    std::size_t category = static_cast<std::size_t>(
+        classify_community_usage(community, options));
+    usage.usage_occurrences[category] += count;
+    ++usage.usage_values[category];
+  }
+  std::vector<AsUsage> out;
+  out.reserve(per_namespace.size());
+  for (auto& [asn16, usage] : per_namespace) {
+    auto sessions = evidence.namespace_sessions.find(asn16);
+    if (sessions != evidence.namespace_sessions.end()) {
+      usage.sessions = sessions->second.size();
+    }
+    if (usage.occurrences < options.min_occurrences) {
+      usage.profile = UsageProfile::kUnclassified;
+    } else {
+      std::size_t top = 0;
+      for (std::size_t i = 1; i < usage.usage_occurrences.size(); ++i) {
+        if (usage.usage_occurrences[i] > usage.usage_occurrences[top]) {
+          top = i;
+        }
+      }
+      double share = static_cast<double>(usage.usage_occurrences[top]) /
+                     static_cast<double>(usage.occurrences);
+      // UsageProfile's first four enumerators mirror CommunityUsage.
+      usage.profile = share >= options.dominant_fraction
+                          ? static_cast<UsageProfile>(top)
+                          : UsageProfile::kMixed;
+    }
+    out.push_back(usage);
+  }
+  std::sort(out.begin(), out.end(), [](const AsUsage& a, const AsUsage& b) {
+    if (a.occurrences != b.occurrences) return a.occurrences > b.occurrences;
+    return a.asn16 < b.asn16;
+  });
+  return out;
+}
+
+std::vector<AsUsage> classify_community_usage_stream(
+    const UpdateStream& stream, const UsageOptions& options) {
+  UsageEvidence evidence;
+  for (const UpdateRecord& record : stream.records()) {
+    accumulate_usage(record, evidence);
+  }
+  return finalize_usage(evidence, options);
+}
+
 }  // namespace bgpcc::core

@@ -17,7 +17,10 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/stream.h"
 
@@ -116,5 +119,102 @@ TypeCounts classify_stream(
 /// the two paths cannot drift apart on tie handling.
 [[nodiscard]] std::vector<std::pair<SessionKey, TypeCounts>>
 rank_session_types(const std::map<SessionKey, Classifier>& classifiers);
+
+// ---------------------------------------------------------------------------
+// Per-AS community usage classification, following Krenc et al.,
+// "AS-Level BGP Community Usage Classification" (IMC 2021): each 16-bit
+// community namespace is profiled from the values its owner AS mints and
+// how widely sessions carry them. Split into a per-value heuristic plus
+// accumulate/merge/finalize evidence kernels so the classification can
+// run shard-parallel (analytics::UsageClassificationPass) or one-shot.
+
+/// What a single community value appears to encode.
+enum class CommunityUsage : std::uint8_t {
+  kLocation = 0,        // ingress/geo tagging (the paper's 3356:2xxx)
+  kTrafficEngineering,  // action codes: prepending, scoped export, pref
+  kBlackhole,           // RTBH triggers (RFC 7999 and the asn:666 custom)
+  kInformational,       // origin/relation markers and everything else
+};
+
+inline constexpr std::array<CommunityUsage, 4> kAllCommunityUsages = {
+    CommunityUsage::kLocation, CommunityUsage::kTrafficEngineering,
+    CommunityUsage::kBlackhole, CommunityUsage::kInformational};
+
+/// A whole namespace's dominant usage (kMixed when no single category
+/// dominates, kUnclassified below the evidence floor).
+enum class UsageProfile : std::uint8_t {
+  kLocation = 0,
+  kTrafficEngineering,
+  kBlackhole,
+  kInformational,
+  kMixed,
+  kUnclassified,
+};
+
+[[nodiscard]] const char* label(CommunityUsage usage);
+[[nodiscard]] const char* label(UsageProfile profile);
+
+/// Heuristic knobs. The value-range defaults follow the operator
+/// conventions Krenc et al. catalogue: tiny values are action codes,
+/// 500-999 country codes, 2000-3999 city/ingress codes, 666 blackhole.
+struct UsageOptions {
+  /// value16 strictly below this is a traffic-engineering action code.
+  std::uint16_t te_value_max = 100;
+  /// value16 in [country_min, country_max] or [city_min, city_max] is a
+  /// location encoding.
+  std::uint16_t country_min = 500;
+  std::uint16_t country_max = 999;
+  std::uint16_t city_min = 2000;
+  std::uint16_t city_max = 3999;
+  /// Namespaces with fewer total occurrences stay kUnclassified.
+  std::uint64_t min_occurrences = 10;
+  /// Occurrence share the top category needs before the namespace is
+  /// labeled with it; below, the profile is kMixed.
+  double dominant_fraction = 0.6;
+};
+
+/// Classifies one community value by the 16-bit-namespace heuristics.
+/// Well-known values (0xFFFF namespace) are kBlackhole for RFC 7999
+/// BLACKHOLE and kInformational otherwise.
+[[nodiscard]] CommunityUsage classify_community_usage(
+    Community community, const UsageOptions& options = {});
+
+/// Mergeable evidence: per-value occurrence counts plus the sessions
+/// observed carrying each namespace. Counts sum and session sets unite
+/// under merge, so shard-partial evidence combines associatively to the
+/// whole-stream evidence (sessions never span shards, so set sizes add).
+struct UsageEvidence {
+  std::map<std::uint32_t, std::uint64_t> value_occurrences;
+  std::map<std::uint16_t, std::set<SessionKey>> namespace_sessions;
+};
+
+/// Folds one announcement's community occurrences into `evidence`
+/// (withdrawals are ignored).
+void accumulate_usage(const UpdateRecord& record, UsageEvidence& evidence);
+
+void merge_usage(UsageEvidence& into, UsageEvidence&& from);
+
+/// One namespace's usage profile.
+struct AsUsage {
+  std::uint16_t asn16 = 0;
+  std::uint64_t occurrences = 0;
+  std::uint64_t distinct_values = 0;
+  /// Distinct sessions observed carrying a value of this namespace.
+  std::uint64_t sessions = 0;
+  /// Occurrences / distinct values per CommunityUsage category.
+  std::array<std::uint64_t, 4> usage_occurrences{};
+  std::array<std::uint64_t, 4> usage_values{};
+  UsageProfile profile = UsageProfile::kUnclassified;
+  friend bool operator==(const AsUsage&, const AsUsage&) = default;
+};
+
+/// Applies the per-value heuristics and the dominance rule, sorted by
+/// occurrences descending then asn16 ascending.
+[[nodiscard]] std::vector<AsUsage> finalize_usage(
+    const UsageEvidence& evidence, const UsageOptions& options);
+
+/// One-shot wrapper: accumulate over a stream, then finalize.
+[[nodiscard]] std::vector<AsUsage> classify_community_usage_stream(
+    const UpdateStream& stream, const UsageOptions& options = {});
 
 }  // namespace bgpcc::core

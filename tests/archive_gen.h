@@ -1,0 +1,111 @@
+// Seeded MRT archive generator shared by the analytics differential
+// batteries (analytics_test, anomaly_beacon_pass_test): a few sessions, a
+// small prefix pool (so consecutive announcements repeat and produce
+// nn/nc churn), withdrawals, same-second bursts, and a clock that only
+// moves forward — each session's second-granularity timestamps are
+// non-decreasing in arrival order, the documented invariant under which
+// inline-windowed observation equals the merged order (the shape
+// chronological collector dumps have).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bgp/codec.h"
+#include "core/registry.h"
+#include "core/stream.h"
+#include "golden_fixture.h"
+#include "mrt/mrt.h"
+
+namespace bgpcc::core::archgen {
+
+struct GenPeer {
+  Asn asn;
+  IpAddress ip;
+  bool extended_time;
+};
+
+class ArchiveGenerator {
+ public:
+  explicit ArchiveGenerator(std::uint32_t seed) : rng_(seed) {
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      peers_.push_back(GenPeer{Asn(65001 + i), IpAddress::v4(0x0a000001u + i),
+                               /*extended_time=*/i % 2 == 0});
+    }
+  }
+
+  [[nodiscard]] std::string generate(int count) {
+    std::ostringstream out;
+    mrt::Writer writer(out);
+    Timestamp now = Timestamp::from_unix_seconds(1600000000);
+    for (int i = 0; i < count; ++i) {
+      if (pick(10) < 3) now = now + Duration::seconds(pick(3) + 1);
+      const GenPeer& peer = peers_[pick(peers_.size())];
+      Timestamp when = now;
+      if (peer.extended_time && pick(2) == 0) {
+        when = when + Duration::micros(static_cast<std::int64_t>(pick(999)) *
+                                       1000);
+      }
+      write_record(writer, peer, when);
+    }
+    return out.str();
+  }
+
+ private:
+  void write_record(mrt::Writer& writer, const GenPeer& peer,
+                    Timestamp when) {
+    UpdateMessage update;
+    if (pick(5) == 0) {
+      update.withdrawn.push_back(prefix(pick(6)));
+    } else {
+      update.announced.push_back(prefix(pick(6)));
+      PathAttributes attrs;
+      std::vector<Asn> hops{peer.asn, Asn(65100 + pick(2)), Asn(65200)};
+      attrs.as_path = AsPath::sequence(hops);
+      attrs.next_hop = IpAddress::from_string("192.0.2.1");
+      // Communities churn slowly: repeats produce nn duplicates, changes
+      // produce nc — both analytics-relevant shapes.
+      if (pick(3) != 0) {
+        attrs.communities.add(Community::of(
+            65100, static_cast<std::uint16_t>(100 + pick(4))));
+        if (pick(4) == 0) {
+          attrs.communities.add(Community::of(
+              static_cast<std::uint16_t>(65001 + pick(4)),
+              static_cast<std::uint16_t>(pick(8))));
+        }
+      }
+      update.attrs = std::move(attrs);
+    }
+    core::goldenfix::write_update(writer, when, peer.asn, peer.ip, update,
+                                  peer.extended_time);
+  }
+
+  Prefix prefix(std::uint32_t index) {
+    return Prefix(IpAddress::v4(0x0a000000u + (index << 16)), 16);
+  }
+
+  std::uint32_t pick(std::size_t bound) {
+    return static_cast<std::uint32_t>(rng_() % bound);
+  }
+
+  std::mt19937 rng_;
+  std::vector<GenPeer> peers_;
+};
+
+inline Registry allocated_registry() {
+  Registry registry;
+  for (std::uint32_t asn = 65001; asn <= 65004; ++asn) {
+    registry.allocate_asn(Asn(asn));
+  }
+  for (std::uint32_t asn : {65100u, 65101u, 65200u}) {
+    registry.allocate_asn(Asn(asn));
+  }
+  registry.allocate_prefix(Prefix::from_string("10.0.0.0/8"));
+  return registry;
+}
+
+}  // namespace bgpcc::core::archgen

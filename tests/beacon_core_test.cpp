@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/beacon.h"
+#include "netbase/error.h"
 
 namespace bgpcc::core {
 namespace {
@@ -53,6 +54,65 @@ TEST(BeaconSchedule, RipePhases) {
   EXPECT_EQ(schedule.label(at(4, 0)), Phase::kAnnounce);
   EXPECT_EQ(schedule.label(at(22, 5)), Phase::kWithdraw);
   EXPECT_EQ(schedule.label(at(23, 59)), Phase::kOutside);
+}
+
+TEST(BeaconSchedule, ZeroPeriodThrowsInsteadOfDividingByZero) {
+  BeaconSchedule schedule;
+  schedule.period = Duration::hours(0);
+  EXPECT_THROW((void)schedule.label(at(0)), ConfigError);
+  EXPECT_THROW((void)schedule.announce_times(at(0)), ConfigError);
+  EXPECT_THROW((void)schedule.withdraw_times(at(0)), ConfigError);
+  schedule.period = Duration::micros(-1);
+  EXPECT_THROW((void)schedule.label(at(0)), ConfigError);
+}
+
+TEST(BeaconSchedule, WindowReachingPeriodThrowsInsteadOfDoubleLabeling) {
+  BeaconSchedule schedule;
+  schedule.period = Duration::hours(1);
+  schedule.window = Duration::hours(2);  // would label every instant
+  EXPECT_THROW((void)schedule.label(at(0)), ConfigError);
+  EXPECT_THROW(schedule.validate(), ConfigError);
+  // window == period is equally degenerate: rel < window always holds.
+  schedule.window = Duration::hours(1);
+  EXPECT_THROW(schedule.validate(), ConfigError);
+  schedule.window = Duration::minutes(59);
+  EXPECT_NO_THROW(schedule.validate());
+}
+
+TEST(BeaconSchedule, PhaseBoundaryIsExclusive) {
+  BeaconSchedule schedule;
+  // rel == window is the first instant OUTSIDE the phase; one microsecond
+  // earlier is the last instant inside.
+  Timestamp boundary = at(2, 15);
+  EXPECT_EQ(schedule.label(boundary), Phase::kOutside);
+  EXPECT_EQ(schedule.label(
+                Timestamp::from_unix_micros(boundary.unix_micros() - 1)),
+            Phase::kWithdraw);
+}
+
+TEST(BeaconSchedule, MidnightWraparound) {
+  BeaconSchedule schedule;
+  schedule.announce_offset = Duration::hours(23);
+  schedule.withdraw_offset = Duration::hours(21);
+  // Phases recur at 23:00, 03:00, 07:00, ... — the 23:00 window is the
+  // last before midnight and the modulo math must not mislabel the
+  // following early-morning instants.
+  EXPECT_EQ(schedule.label(at(23, 5)), Phase::kAnnounce);
+  EXPECT_EQ(schedule.label(at(23, 20)), Phase::kOutside);
+  EXPECT_EQ(schedule.label(at(0, 5)), Phase::kOutside);
+  EXPECT_EQ(schedule.label(at(3, 5)), Phase::kAnnounce);
+  EXPECT_EQ(schedule.label(at(21, 10)), Phase::kWithdraw);
+  EXPECT_EQ(schedule.label(at(1, 10)), Phase::kWithdraw);
+}
+
+TEST(BeaconSchedule, OffsetBeyondPeriodRecursModuloPeriod) {
+  BeaconSchedule schedule;
+  schedule.announce_offset = Duration::hours(26);  // == 02:00 mod 4h
+  schedule.withdraw_offset = Duration::hours(1);
+  EXPECT_EQ(schedule.label(at(2, 5)), Phase::kAnnounce);
+  EXPECT_EQ(schedule.label(at(6, 5)), Phase::kAnnounce);
+  EXPECT_EQ(schedule.label(at(0, 5)), Phase::kOutside);
+  EXPECT_EQ(schedule.label(at(1, 5)), Phase::kWithdraw);
 }
 
 TEST(BeaconSchedule, PhaseTimes) {
@@ -148,6 +208,50 @@ TEST(CommunityExploration, OutsidePhaseRunsIgnored) {
   stream.add(record_at(at(1, 1), "1 2", "3356:2"));
   stream.add(record_at(at(1, 2), "1 2", "3356:3"));
   EXPECT_TRUE(find_community_exploration(stream, schedule).empty());
+}
+
+// The sorted-flush pinned golden: still-active runs used to be flushed
+// in run-map (session-key) order at end of stream, so the returned
+// events were not in time order like the mid-stream ones. The output
+// order is now (begin, session, prefix), whoever emitted the event.
+TEST(CommunityExploration, EndOfStreamFlushIsSortedByBeginTime) {
+  BeaconSchedule schedule;
+  UpdateStream stream;
+  // Three sessions whose key order (peer ASN 100 < 200 < 300) is the
+  // REVERSE of their run begin times; every run is still active at end
+  // of stream, so all three are flushed.
+  struct Spec {
+    std::uint32_t peer;
+    int start_minute;
+  };
+  for (const Spec& spec : {Spec{100, 10}, Spec{200, 5}, Spec{300, 1}}) {
+    for (int i = 0; i < 3; ++i) {
+      UpdateRecord r;
+      r.time = at(2, spec.start_minute) + Duration::seconds(i * 20);
+      r.session = SessionKey{"rrc00", Asn(spec.peer),
+                             IpAddress::from_string("192.0.2.1")};
+      r.prefix = Prefix::from_string("84.205.64.0/24");
+      r.announcement = true;
+      r.attrs.as_path = AsPath::from_string("1 2 3");
+      r.attrs.communities.add(
+          Community::of(3356, static_cast<std::uint16_t>(2000 + i)));
+      stream.add(r);
+    }
+  }
+  stream.sort_by_time();
+  auto events = find_community_exploration(stream, schedule);
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by begin: the ASN-300 run (2:01) first, then 200, then 100 —
+  // the run-map order would have returned 100, 200, 300.
+  EXPECT_EQ(events[0].session.peer_asn, Asn(300));
+  EXPECT_EQ(events[1].session.peer_asn, Asn(200));
+  EXPECT_EQ(events[2].session.peer_asn, Asn(100));
+  EXPECT_LT(events[0].begin, events[1].begin);
+  EXPECT_LT(events[1].begin, events[2].begin);
+  // Each run's begin is its second announcement (the first nc).
+  EXPECT_EQ(events[0].begin, at(2, 1) + Duration::seconds(20));
+  EXPECT_EQ(events[0].nc_count, 2);
+  EXPECT_EQ(events[0].distinct_attributes, 3);
 }
 
 TEST(RouteSeries, FiltersByPathAndCollectsWithdrawals) {

@@ -197,5 +197,97 @@ TEST(Labels, AllDistinct) {
   EXPECT_EQ(labels.size(), 6u);
 }
 
+// ---------------------------------------------------------------------------
+// Community usage classification (Krenc et al.).
+
+TEST(CommunityUsage, ValueHeuristics) {
+  EXPECT_EQ(classify_community_usage(Community::of(3356, 666)),
+            CommunityUsage::kBlackhole);
+  EXPECT_EQ(classify_community_usage(Community::blackhole()),
+            CommunityUsage::kBlackhole);
+  EXPECT_EQ(classify_community_usage(Community::no_export()),
+            CommunityUsage::kInformational);
+  EXPECT_EQ(classify_community_usage(Community::of(3356, 70)),
+            CommunityUsage::kTrafficEngineering);
+  EXPECT_EQ(classify_community_usage(Community::of(3356, 0)),
+            CommunityUsage::kTrafficEngineering);
+  EXPECT_EQ(classify_community_usage(Community::of(3356, 2001)),
+            CommunityUsage::kLocation);
+  EXPECT_EQ(classify_community_usage(Community::of(3356, 501)),
+            CommunityUsage::kLocation);
+  EXPECT_EQ(classify_community_usage(Community::of(3356, 1500)),
+            CommunityUsage::kInformational);
+  EXPECT_EQ(classify_community_usage(Community::of(3356, 9000)),
+            CommunityUsage::kInformational);
+}
+
+TEST(CommunityUsage, NamespaceProfilesAndEvidenceFloor) {
+  UpdateStream stream;
+  // 3356 tags locations (12 occurrences over 3 values), 174 sends only
+  // action codes, 9000 appears once: below the evidence floor.
+  for (int i = 0; i < 4; ++i) {
+    stream.add(make_record(
+        "20205 3356 174", "3356:2001 3356:2002 3356:501 174:80", i));
+  }
+  stream.add(make_record("20205 9000", "9000:1234", 10));
+
+  UsageOptions options;
+  options.min_occurrences = 3;
+  auto usage = classify_community_usage_stream(stream, options);
+  ASSERT_EQ(usage.size(), 3u);
+  // Sorted by occurrences descending.
+  EXPECT_EQ(usage[0].asn16, 3356u);
+  EXPECT_EQ(usage[0].occurrences, 12u);
+  EXPECT_EQ(usage[0].distinct_values, 3u);
+  EXPECT_EQ(usage[0].profile, UsageProfile::kLocation);
+  EXPECT_EQ(usage[0].sessions, 1u);
+  EXPECT_EQ(usage[1].asn16, 174u);
+  EXPECT_EQ(usage[1].profile, UsageProfile::kTrafficEngineering);
+  EXPECT_EQ(usage[2].asn16, 9000u);
+  EXPECT_EQ(usage[2].profile, UsageProfile::kUnclassified);
+}
+
+TEST(CommunityUsage, MixedNamespaceNeedsNoDominantCategory) {
+  UpdateStream stream;
+  // Half location, half TE: no category reaches the 60% default.
+  for (int i = 0; i < 5; ++i) {
+    stream.add(make_record("20205 3356", "3356:2001 3356:80", i));
+  }
+  auto usage = classify_community_usage_stream(stream);
+  ASSERT_EQ(usage.size(), 1u);
+  EXPECT_EQ(usage[0].profile, UsageProfile::kMixed);
+  EXPECT_EQ(usage[0].usage_values[static_cast<std::size_t>(
+                CommunityUsage::kLocation)],
+            1u);
+  EXPECT_EQ(usage[0].usage_values[static_cast<std::size_t>(
+                CommunityUsage::kTrafficEngineering)],
+            1u);
+}
+
+TEST(CommunityUsage, EvidenceMergesAcrossSessionPartitions) {
+  UpdateRecord a = make_record("20205 3356", "3356:2001 3356:666", 0);
+  UpdateRecord b = make_record("20811 3356", "3356:2001 3356:70", 1);
+  b.session.peer_asn = Asn(20811);
+
+  UsageEvidence whole;
+  accumulate_usage(a, whole);
+  accumulate_usage(b, whole);
+
+  UsageEvidence part_a;
+  UsageEvidence part_b;
+  accumulate_usage(a, part_a);
+  accumulate_usage(b, part_b);
+  merge_usage(part_a, std::move(part_b));
+
+  UsageOptions options;
+  options.min_occurrences = 1;
+  EXPECT_TRUE(finalize_usage(part_a, options) ==
+              finalize_usage(whole, options));
+  auto usage = finalize_usage(part_a, options);
+  ASSERT_EQ(usage.size(), 1u);
+  EXPECT_EQ(usage[0].sessions, 2u);
+  EXPECT_EQ(usage[0].distinct_values, 3u);
+}
+
 }  // namespace
 }  // namespace bgpcc::core

@@ -4,6 +4,7 @@
 
 #include "core/anomaly.h"
 #include "core/peering.h"
+#include "netbase/error.h"
 #include "synth/beacon_internet.h"
 #include "synth/macrogen.h"
 
@@ -159,6 +160,121 @@ TEST(Anomaly, DetectsNoveltyBurst) {
   ASSERT_EQ(report.novelty_bursts.size(), 1u);
   EXPECT_EQ(report.novelty_bursts[0].community, Community::of(666, 666));
   EXPECT_EQ(report.novelty_bursts[0].occurrences, 150u);
+}
+
+// The regression the Pass port fixed: the old detector pinned first_seen
+// forever and dropped every occurrence outside the initial window, so a
+// community that went quiet and burst hours later was never flagged.
+TEST(Anomaly, ReEmergentCommunityBurstIsFlagged) {
+  UpdateStream stream;
+  // Two quiet sightings at t=0, then silence.
+  stream.add(make_record(Asn(20205), "1 2", "666:13", 0));
+  stream.add(make_record(Asn(20205), "1 2", "666:13", 30));
+  // Ten hours later: 150 occurrences within one hour.
+  for (int i = 0; i < 150; ++i) {
+    stream.add(make_record(Asn(20205), "1 2", "666:13", 36000 + i));
+  }
+  AnomalyOptions options;
+  options.novelty_min_occurrences = 100;
+  options.min_classified = 1000000;  // disable outlier detector
+  AnomalyReport report = detect_anomalies(stream, options);
+  ASSERT_EQ(report.novelty_bursts.size(), 1u);
+  EXPECT_EQ(report.novelty_bursts[0].community, Community::of(666, 13));
+  EXPECT_EQ(report.novelty_bursts[0].occurrences, 150u);
+  // first_seen is the re-emergence, not the original quiet sighting.
+  EXPECT_EQ(report.novelty_bursts[0].first_seen,
+            Timestamp::from_unix_seconds(36000));
+}
+
+// The largest episode wins when a community bursts more than once.
+TEST(Anomaly, LargestBurstEpisodeIsReported) {
+  UpdateStream stream;
+  for (int i = 0; i < 110; ++i) {
+    stream.add(make_record(Asn(20205), "1 2", "666:13", i));
+  }
+  // Quiet gap, then a bigger re-emergent burst.
+  for (int i = 0; i < 140; ++i) {
+    stream.add(make_record(Asn(20205), "1 2", "666:13", 36000 + i));
+  }
+  AnomalyOptions options;
+  options.novelty_min_occurrences = 100;
+  options.min_classified = 1000000;
+  AnomalyReport report = detect_anomalies(stream, options);
+  ASSERT_EQ(report.novelty_bursts.size(), 1u);
+  EXPECT_EQ(report.novelty_bursts[0].occurrences, 140u);
+  EXPECT_EQ(report.novelty_bursts[0].first_seen,
+            Timestamp::from_unix_seconds(36000));
+}
+
+// Defined small-population behavior (n eligible sessions):
+//  n == 0 -> zero stats, no outliers;
+//  n == 1 -> that session's share is the population mean, stddev 0, and
+//            it can never be an outlier;
+//  n == 2 -> each scored against the other alone (sigma 1e6 on a
+//            zero-stddev remainder).
+TEST(Anomaly, NoEligibleSessionsReportsZeroStats) {
+  UpdateStream stream;
+  for (int i = 0; i < 5; ++i) {
+    stream.add(make_record(Asn(20205), "1 2", "100:1", i));
+  }
+  AnomalyOptions options;
+  options.min_classified = 50;  // the 4 classified announcements miss it
+  options.novelty_min_occurrences = 1000000;
+  AnomalyReport report = detect_anomalies(stream, options);
+  EXPECT_TRUE(report.duplicate_outliers.empty());
+  EXPECT_DOUBLE_EQ(report.population_mean_nn_share, 0.0);
+  EXPECT_DOUBLE_EQ(report.population_stddev_nn_share, 0.0);
+}
+
+TEST(Anomaly, SingleEligibleSessionIsNeverAnOutlier) {
+  UpdateStream stream;
+  // A session of pure duplicates: extreme, but the only population.
+  for (int i = 0; i < 60; ++i) {
+    stream.add(make_record(Asn(29999), "1 2 3", "100:1", i));
+  }
+  AnomalyOptions options;
+  options.min_classified = 10;
+  options.novelty_min_occurrences = 1000000;
+  AnomalyReport report = detect_anomalies(stream, options);
+  EXPECT_TRUE(report.duplicate_outliers.empty());
+  EXPECT_DOUBLE_EQ(report.population_mean_nn_share, 1.0);
+  EXPECT_DOUBLE_EQ(report.population_stddev_nn_share, 0.0);
+}
+
+TEST(Anomaly, TwoEligibleSessionsScoreAgainstEachOther) {
+  UpdateStream stream;
+  for (int i = 0; i < 60; ++i) {
+    // Pure duplicates on one session...
+    UpdateRecord dup = make_record(Asn(29999), "1 2 3", "100:1", i);
+    dup.session.peer_asn = Asn(29999);
+    stream.add(dup);
+    // ... pure nc churn on the other.
+    UpdateRecord churn =
+        make_record(Asn(20205), "1 2 3", "100:" + std::to_string(i % 7), i);
+    churn.session.peer_asn = Asn(20205);
+    stream.add(churn);
+  }
+  AnomalyOptions options;
+  options.min_classified = 10;
+  options.novelty_min_occurrences = 1000000;
+  AnomalyReport report = detect_anomalies(stream, options);
+  EXPECT_DOUBLE_EQ(report.population_mean_nn_share, 0.5);
+  // The duplicate session exceeds its zero-stddev remainder: infinitely
+  // surprising, reported as the 1e6 sentinel. The quiet one is below its
+  // remainder and stays unflagged.
+  ASSERT_EQ(report.duplicate_outliers.size(), 1u);
+  EXPECT_EQ(report.duplicate_outliers[0].session.peer_asn, Asn(29999));
+  EXPECT_DOUBLE_EQ(report.duplicate_outliers[0].sigma, 1e6);
+}
+
+TEST(Anomaly, NonPositiveNoveltyWindowThrows) {
+  UpdateStream stream;
+  AnomalyOptions options;
+  options.novelty_window = Duration::hours(0);
+  // Rejected up front, even with nothing to scan.
+  EXPECT_THROW((void)detect_anomalies(stream, options), ConfigError);
+  stream.add(make_record(Asn(20205), "1 2", "100:1", 0));
+  EXPECT_THROW((void)detect_anomalies(stream, options), ConfigError);
 }
 
 TEST(Anomaly, MacroArtifactSessionIsCaught) {
