@@ -410,6 +410,61 @@ void BM_AnomalyInline(benchmark::State& state) {
 }
 BENCHMARK(BM_AnomalyInline)->Arg(1)->Arg(4)->UseRealTime();
 
+// Registers the full shipped pass set — the bgpcc-merge/checkpoint
+// configuration — on a driver.
+void add_standard_passes(analytics::AnalysisDriver& driver) {
+  driver.add(analytics::ClassifierPass{});
+  driver.add(analytics::PerSessionTypesPass{});
+  driver.add(analytics::TomographyPass{});
+  driver.add(analytics::CommunityStatsPass{});
+  driver.add(analytics::DuplicateBurstPass{});
+  driver.add(analytics::AnomalyPass{});
+  driver.add(analytics::RevealedPass{});
+  driver.add(analytics::ExplorationPass{});
+  driver.add(analytics::UsageClassificationPass{});
+}
+
+// Checkpoint/restore round-trip (analytics/serialize.h): encode a
+// populated full-pass-set driver's shard states through the wire codec
+// and restore them into a fresh driver — the crash-safety overhead a
+// resumable year-scale run pays per checkpoint interval. Bytes/sec is
+// measured over the encoded checkpoint size, so codec regressions and
+// state-size blowups both move the trajectory gate.
+void BM_CheckpointRoundtrip(benchmark::State& state) {
+  static const std::string archive = synthetic_ingest_archive(64, 256);
+  core::Registry registry = ingest_bench_registry();
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  analytics::AnalysisDriver driver;
+  add_standard_passes(driver);
+  core::IngestOptions options;
+  options.num_threads = 1;
+  options.chunk_records = 1024;
+  options.cleaning = &cleaning;
+  driver.attach(options);
+  std::istringstream in(archive);
+  core::IngestResult result = core::ingest_mrt_stream("bench", in, options);
+  benchmark::DoNotOptimize(result.stream.size());
+
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    driver.checkpoint(out);
+    std::string encoded = std::move(out).str();
+    bytes = encoded.size();
+    analytics::AnalysisDriver restored;
+    add_standard_passes(restored);
+    std::istringstream encoded_in(encoded);
+    restored.restore(encoded_in);
+    benchmark::DoNotOptimize(restored.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["state_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_CheckpointRoundtrip);
+
 void BM_DecisionCompare(benchmark::State& state) {
   Route a;
   a.prefix = Prefix::from_string("84.205.64.0/24");

@@ -1,7 +1,10 @@
 #include "analytics/driver.h"
 
+#include <sstream>
+#include <string>
 #include <utility>
 
+#include "analytics/serialize.h"
 #include "netbase/error.h"
 
 namespace bgpcc::analytics {
@@ -86,24 +89,213 @@ void AnalysisDriver::observe_shard(
   }
 }
 
+void AnalysisDriver::finalize() {
+  if (finalized_) return;
+  ensure_states();  // finalize before any observation: empty states
+  final_ = std::move(states_.front());
+  for (std::size_t s = 1; s < states_.size(); ++s) {
+    for (std::size_t p = 0; p < passes_.size(); ++p) {
+      final_[p]->merge(std::move(*states_[s][p]));
+    }
+  }
+  states_.clear();
+  finalized_ = true;
+}
+
 const detail::AnyState& AnalysisDriver::finalized_state(std::size_t index,
                                                         const void* owner) {
   if (owner != this || index >= passes_.size()) {
     throw ConfigError(
         "AnalysisDriver: report() with a handle this driver did not issue");
   }
-  if (!finalized_) {
-    ensure_states();  // report() before any observation: empty reports
-    final_ = std::move(states_.front());
-    for (std::size_t s = 1; s < states_.size(); ++s) {
-      for (std::size_t p = 0; p < passes_.size(); ++p) {
-        final_[p]->merge(std::move(*states_[s][p]));
-      }
-    }
-    states_.clear();
-    finalized_ = true;
-  }
+  finalize();
   return *final_[index];
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec plumbing. Each state travels as a length-prefixed blob: the
+// writer serializes into a scratch buffer to learn the length; the reader
+// decodes in place and verifies it consumed exactly the declared bytes,
+// so a codec/layout mismatch surfaces as DecodeError at the offending
+// pass instead of desynchronizing every pass after it.
+
+namespace {
+
+void write_state_blob(serialize::Writer& w, const detail::AnyState& state) {
+  std::ostringstream buffer;
+  serialize::Writer blob(buffer);
+  state.save(blob);
+  std::string bytes = std::move(buffer).str();
+  w.u64(bytes.size());
+  w.raw(bytes.data(), bytes.size());
+}
+
+void read_state_blob(serialize::Reader& r, detail::AnyState& state) {
+  std::uint64_t declared = r.u64();
+  std::uint64_t before = r.bytes_read();
+  state.load(r);
+  std::uint64_t consumed = r.bytes_read() - before;
+  if (consumed != declared) {
+    throw DecodeError("state blob declared " + std::to_string(declared) +
+                      " bytes but decoding consumed " +
+                      std::to_string(consumed) +
+                      " — mismatched pass configuration or corrupt file");
+  }
+}
+
+}  // namespace
+
+void AnalysisDriver::write_tags(serialize::Writer& w) const {
+  if (passes_.size() > 0xFFFF) {
+    throw ConfigError("AnalysisDriver: more than 65535 passes");
+  }
+  w.u16(static_cast<std::uint16_t>(passes_.size()));
+  for (const auto& pass : passes_) w.u16(pass->state_tag());
+}
+
+void AnalysisDriver::check_tags(serialize::Reader& r) const {
+  std::uint16_t count = r.u16();
+  if (count != passes_.size()) {
+    throw ConfigError(
+        "AnalysisDriver: state file holds " + std::to_string(count) +
+        " passes, this driver registered " + std::to_string(passes_.size()) +
+        " — register the same passes in the same order");
+  }
+  for (std::size_t p = 0; p < passes_.size(); ++p) {
+    std::uint16_t tag = r.u16();
+    std::uint16_t expected = passes_[p]->state_tag();
+    if (tag != expected) {
+      throw ConfigError("AnalysisDriver: state file pass " +
+                        std::to_string(p) + " has wire tag " +
+                        std::to_string(tag) + ", this driver expects tag " +
+                        std::to_string(expected) +
+                        " — register the same passes in the same order");
+    }
+  }
+}
+
+void AnalysisDriver::save_state(std::ostream& out) {
+  finalize();
+  serialize::Writer w(out);
+  serialize::write_block_header(w, serialize::BlockKind::kPartialState);
+  write_tags(w);
+  for (const auto& state : final_) write_state_blob(w, *state);
+  out.flush();
+  if (!out) throw DecodeError("save_state: output stream failed on flush");
+}
+
+void AnalysisDriver::load_state(std::istream& in) {
+  ensure_states();  // throws ConfigError once finalized
+  serialize::Reader r(in);
+  serialize::BlockKind kind = serialize::read_block_header(r);
+  if (kind == serialize::BlockKind::kIngestCursor) {
+    throw DecodeError(
+        "load_state: file is a bare ingest cursor, not a pass-state file");
+  }
+  check_tags(r);
+  if (kind == serialize::BlockKind::kPartialState) {
+    for (std::size_t p = 0; p < passes_.size(); ++p) {
+      std::unique_ptr<detail::AnyState> fresh = passes_[p]->make_state();
+      read_state_blob(r, *fresh);
+      states_[0][p]->merge(std::move(*fresh));
+    }
+    return;
+  }
+  // kCheckpoint: fold every shard slot into the sink slot. Valid for
+  // combining disjoint runs; resuming needs restore() (shard fidelity).
+  if (r.boolean()) {
+    (void)serialize::read_ingest_checkpoint(r);  // cursor: skip
+  }
+  std::uint16_t shard_count = r.u16();
+  for (std::uint16_t s = 0; s < shard_count; ++s) {
+    for (std::size_t p = 0; p < passes_.size(); ++p) {
+      std::unique_ptr<detail::AnyState> fresh = passes_[p]->make_state();
+      read_state_blob(r, *fresh);
+      states_[0][p]->merge(std::move(*fresh));
+    }
+  }
+}
+
+void AnalysisDriver::checkpoint(std::ostream& out) {
+  checkpoint_impl(out, nullptr);
+}
+
+void AnalysisDriver::checkpoint(std::ostream& out,
+                                const core::StreamingIngestor& ingestor) {
+  checkpoint_impl(out, &ingestor);
+}
+
+void AnalysisDriver::checkpoint_impl(std::ostream& out,
+                                     const core::StreamingIngestor* ingestor) {
+  if (finalized_) {
+    throw ConfigError(
+        "AnalysisDriver: checkpoint after report()/save_state() — the "
+        "per-shard states are already merged");
+  }
+  ensure_states();
+  serialize::Writer w(out);
+  serialize::write_block_header(w, serialize::BlockKind::kCheckpoint);
+  write_tags(w);
+  w.boolean(ingestor != nullptr);
+  if (ingestor != nullptr) {
+    serialize::write_ingest_checkpoint(w, ingestor->checkpoint_state());
+  }
+  w.u16(static_cast<std::uint16_t>(states_.size()));
+  for (const auto& shard : states_) {
+    for (const auto& state : shard) write_state_blob(w, *state);
+  }
+  out.flush();
+  if (!out) throw DecodeError("checkpoint: output stream failed on flush");
+}
+
+void AnalysisDriver::restore(std::istream& in) { restore_impl(in, nullptr); }
+
+void AnalysisDriver::restore(std::istream& in,
+                             core::StreamingIngestor& ingestor) {
+  restore_impl(in, &ingestor);
+}
+
+void AnalysisDriver::restore_impl(std::istream& in,
+                                  core::StreamingIngestor* ingestor) {
+  // attach() may legitimately have minted the (empty) shard states
+  // already — restore after attach is the documented resume order, since
+  // the ingestor needs the observer installed at construction. load()
+  // replaces each state's evidence wholesale, so only finalization is
+  // irrecoverable here; anything observed before restore is discarded.
+  if (finalized_) {
+    throw ConfigError(
+        "AnalysisDriver: restore after report()/save_state() — construct "
+        "a fresh driver, register the same passes, then restore");
+  }
+  serialize::Reader r(in);
+  serialize::read_block_header(r, serialize::BlockKind::kCheckpoint);
+  check_tags(r);
+  bool has_cursor = r.boolean();
+  if (ingestor != nullptr && !has_cursor) {
+    throw ConfigError(
+        "AnalysisDriver: checkpoint carries no ingest cursor (it was "
+        "taken without an ingestor) — restore(istream&) the states alone");
+  }
+  if (has_cursor) {
+    core::IngestCheckpoint cursor = serialize::read_ingest_checkpoint(r);
+    if (ingestor != nullptr) {
+      ingestor->restore_checkpoint(cursor);
+    }
+    // Without an ingestor the cursor is decoded and dropped: the states
+    // alone still restore (merge/report of what was observed so far).
+  }
+  std::uint16_t shard_count = r.u16();
+  if (shard_count != core::kIngestShards) {
+    throw ConfigError(
+        "AnalysisDriver: checkpoint has " + std::to_string(shard_count) +
+        " shard slots, this build runs " +
+        std::to_string(core::kIngestShards) +
+        " — restore with a matching build");
+  }
+  ensure_states();
+  for (auto& shard : states_) {
+    for (auto& state : shard) read_state_blob(r, *state);
+  }
 }
 
 core::IngestResult analyze_mrt_files(

@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -39,11 +40,18 @@
 
 namespace bgpcc::analytics {
 
+/// Runs any set of Passes over the cleaned update stream in one
+/// traversal — inline on the shard workers, as a streaming sink, or over
+/// a materialized stream (see the header comment for the full mode
+/// semantics and a usage sketch).
 class AnalysisDriver {
  public:
+  /// An empty driver: add() passes, then pick an execution mode.
   AnalysisDriver();
   ~AnalysisDriver();
+  /// Not copyable: shard states reference the issuing driver.
   AnalysisDriver(const AnalysisDriver&) = delete;
+  /// Not copy-assignable (same reason).
   AnalysisDriver& operator=(const AnalysisDriver&) = delete;
 
   /// Registers a pass. Call before any observation (attach/sink/observe*);
@@ -88,13 +96,70 @@ class AnalysisDriver {
     return static_cast<const detail::StateModel<P>&>(state).state().report();
   }
 
+  // -- Versioned wire codec (analytics/serialize.h) ----------------------
+  //
+  // Every registered pass must model SerializablePass (all shipped passes
+  // do); a non-serializable pass throws ConfigError from any of these.
+  // Configuration is never serialized: the reading driver must register
+  // the SAME passes, identically configured, in the SAME order — the
+  // codec verifies the pass-tag list and throws ConfigError on mismatch.
+
+  /// Finalizes this driver (merges all shard states, like the first
+  /// report() call) and writes the merged per-pass states as one
+  /// kPartialState block: the `bgpcc-merge` input for split-by-collector
+  /// runs. Reports stay redeemable afterwards; further observation
+  /// throws ConfigError.
+  void save_state(std::ostream& out);
+
+  /// Reads a kPartialState (or kCheckpoint) block and MERGES its states
+  /// into this driver, as if this driver had observed those records
+  /// itself. Checkpoint shard slots are folded into the sink slot, so
+  /// load_state is valid only for combining DISJOINT runs (no session
+  /// continues across the boundary) — resuming an interrupted run needs
+  /// restore(), which keeps shard fidelity. Callable any number of
+  /// times before report().
+  void load_state(std::istream& in);
+
+  /// Writes a kCheckpoint block: every per-shard state, shard-faithful,
+  /// so a restore()d driver continues per-session streams in the shard
+  /// slots that own them. The driver keeps running — checkpointing is a
+  /// snapshot, not a finalization. Throws ConfigError once finalized.
+  void checkpoint(std::ostream& out);
+
+  /// Same, additionally embedding `ingestor`'s resumable cursor
+  /// (core::StreamingIngestor::checkpoint_state) so the paired restore()
+  /// re-positions ingestion at the exact window boundary.
+  void checkpoint(std::ostream& out, const core::StreamingIngestor& ingestor);
+
+  /// Restores a checkpoint into this driver: every shard state's
+  /// evidence is REPLACED by the saved snapshot (anything observed
+  /// before the call is discarded — restore first, then ingest). The
+  /// same passes must be registered; attach() may already have run (the
+  /// resume order is attach → construct ingestor → restore). Throws
+  /// ConfigError once finalized. On decode failure the driver is left
+  /// unspecified — build a new one.
+  void restore(std::istream& in);
+
+  /// Same, additionally restoring the embedded ingest cursor into
+  /// `ingestor` (which must be fresh and configured identically — see
+  /// core::StreamingIngestor::restore_checkpoint). ConfigError when the
+  /// checkpoint carries no cursor.
+  void restore(std::istream& in, core::StreamingIngestor& ingestor);
+
  private:
   void ensure_can_add() const;
   void ensure_states();
   void observe_shard(std::size_t shard,
                      const std::vector<core::SeqRecord>& records);
+  /// Merges all shard states into final_ (idempotent).
+  void finalize();
   [[nodiscard]] const detail::AnyState& finalized_state(std::size_t index,
                                                         const void* owner);
+  void write_tags(serialize::Writer& w) const;
+  void check_tags(serialize::Reader& r) const;
+  void checkpoint_impl(std::ostream& out,
+                       const core::StreamingIngestor* ingestor);
+  void restore_impl(std::istream& in, core::StreamingIngestor* ingestor);
 
   std::vector<std::unique_ptr<detail::AnyPass>> passes_;
   /// states_[shard][pass]; shard slot 0 doubles as the sink/observe slot

@@ -22,12 +22,19 @@
 #pragma once
 
 #include <concepts>
+#include <cstdint>
 #include <memory>
 #include <utility>
 
 #include "core/stream.h"
+#include "netbase/error.h"
 
 namespace bgpcc::analytics {
+
+namespace serialize {
+class Writer;
+class Reader;
+}  // namespace serialize
 
 /// The compile-time shape of an analysis pass (see the header comment
 /// for the semantic contract the types must honor).
@@ -45,6 +52,24 @@ concept Pass = std::move_constructible<P> &&
 template <Pass P>
 using ReportOf = decltype(std::declval<const typename P::State&>().report());
 
+/// A pass whose State additionally round-trips through the versioned wire
+/// codec (analytics/serialize.h): a pinned wire tag plus save/load. Every
+/// shipped pass models this; custom passes may opt in to make their
+/// states checkpointable and bgpcc-merge-able.
+///
+/// Contract: load() is called on a freshly minted state (make_state from
+/// an identically configured pass) and must leave it exactly as the saved
+/// one — configuration members are NOT serialized, only evidence, so the
+/// loading side configures the pass itself.
+template <typename P>
+concept SerializablePass =
+    Pass<P> && requires(const typename P::State& cs, typename P::State& s,
+                        serialize::Writer& w, serialize::Reader& r) {
+      { P::kStateTag } -> std::convertible_to<std::uint16_t>;
+      cs.save(w);
+      s.load(r);
+    };
+
 namespace detail {
 
 /// Type-erased per-shard state: what the driver fans out, observes into,
@@ -56,6 +81,12 @@ class AnyState {
   /// `other` must wrap the same State type (guaranteed by construction:
   /// the driver only merges states minted by one pass slot).
   virtual void merge(AnyState&& other) = 0;
+  /// Serializes the state through the wire codec; ConfigError when the
+  /// pass does not model SerializablePass.
+  virtual void save(serialize::Writer& writer) const = 0;
+  /// Restores a freshly minted state from the wire codec; ConfigError
+  /// when the pass does not model SerializablePass.
+  virtual void load(serialize::Reader& reader) = 0;
 };
 
 /// Type-erased pass: a state factory.
@@ -63,6 +94,9 @@ class AnyPass {
  public:
   virtual ~AnyPass() = default;
   [[nodiscard]] virtual std::unique_ptr<AnyState> make_state() const = 0;
+  /// The pass's pinned wire tag (serialize::PassTag value); ConfigError
+  /// when the pass does not model SerializablePass.
+  [[nodiscard]] virtual std::uint16_t state_tag() const = 0;
 };
 
 template <Pass P>
@@ -74,6 +108,26 @@ class StateModel final : public AnyState {
   }
   void merge(AnyState&& other) override {
     state_.merge(std::move(static_cast<StateModel&>(other).state_));
+  }
+  void save(serialize::Writer& writer) const override {
+    if constexpr (SerializablePass<P>) {
+      state_.save(writer);
+    } else {
+      (void)writer;
+      throw ConfigError(
+          "AnalysisDriver: this pass's State is not serializable — give it "
+          "kStateTag + save()/load() (analytics/serialize.h) to checkpoint");
+    }
+  }
+  void load(serialize::Reader& reader) override {
+    if constexpr (SerializablePass<P>) {
+      state_.load(reader);
+    } else {
+      (void)reader;
+      throw ConfigError(
+          "AnalysisDriver: this pass's State is not serializable — give it "
+          "kStateTag + save()/load() (analytics/serialize.h) to restore");
+    }
   }
   [[nodiscard]] const typename P::State& state() const { return state_; }
 
@@ -87,6 +141,15 @@ class PassModel final : public AnyPass {
   explicit PassModel(P pass) : pass_(std::move(pass)) {}
   [[nodiscard]] std::unique_ptr<AnyState> make_state() const override {
     return std::make_unique<StateModel<P>>(pass_.make_state());
+  }
+  [[nodiscard]] std::uint16_t state_tag() const override {
+    if constexpr (SerializablePass<P>) {
+      return P::kStateTag;
+    } else {
+      throw ConfigError(
+          "AnalysisDriver: this pass has no wire tag — give its State "
+          "kStateTag + save()/load() (analytics/serialize.h) to serialize");
+    }
   }
 
  private:
@@ -102,6 +165,7 @@ class PassModel final : public AnyPass {
 template <Pass P>
 class PassHandle {
  public:
+  /// An empty handle; redeeming it throws ConfigError.
   PassHandle() = default;
 
  private:

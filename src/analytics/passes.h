@@ -28,29 +28,44 @@ namespace bgpcc::analytics {
 /// stream lives in exactly one shard.
 class ClassifierPass {
  public:
+  /// Wire tag (serialize::PassTag::kClassifier).
+  static constexpr std::uint16_t kStateTag = 1;
+
+  /// The projected result: global type tallies plus stream count.
   struct Report {
+    /// Per-announcement-type tallies (Table 2's rows).
     core::TypeCounts counts;
     /// Distinct (session, prefix) streams seen.
     std::uint64_t streams = 0;
+    /// Field-wise equality.
     friend bool operator==(const Report&, const Report&) = default;
   };
 
+  /// Per-shard classifier state (see the Pass contract in pass.h).
   class State {
    public:
+    /// Classifies one cleaned record into its announcement type.
     void observe(const core::UpdateRecord& record) {
       classifier_.classify(record);
     }
+    /// Folds another shard's classifier into this one.
     void merge(State&& other) {
       classifier_.merge(std::move(other.classifier_));
     }
+    /// Projects the merged tallies.
     [[nodiscard]] Report report() const {
       return Report{classifier_.counts(), classifier_.stream_count()};
     }
+    /// Serializes the classifier evidence (analytics/serialize.h).
+    void save(serialize::Writer& writer) const;
+    /// Restores saved classifier evidence (analytics/serialize.h).
+    void load(serialize::Reader& reader);
 
    private:
     core::Classifier classifier_;
   };
 
+  /// Mints one empty per-shard state.
   [[nodiscard]] State make_state() const { return {}; }
 };
 
@@ -59,27 +74,45 @@ class ClassifierPass {
 /// ranking is byte-identical to the legacy per_session_types path.
 class PerSessionTypesPass {
  public:
+  /// Tallies every (session, prefix) stream.
   PerSessionTypesPass() = default;
+  /// Tallies only records for `only_prefix` (the Figure 3 beacon view).
   explicit PerSessionTypesPass(Prefix only_prefix)
       : only_prefix_(only_prefix) {}
 
+  /// Wire tag (serialize::PassTag::kPerSessionTypes).
+  static constexpr std::uint16_t kStateTag = 2;
+
+  /// Sessions ranked by core::rank_session_types.
   using Report = std::vector<std::pair<core::SessionKey, core::TypeCounts>>;
 
+  /// Per-shard map of session → classifier (see pass.h for the contract).
   class State {
    public:
+    /// Binds the state to the pass's optional prefix filter.
     explicit State(std::optional<Prefix> only_prefix)
         : only_prefix_(only_prefix) {}
+    /// Classifies one record into its session's tally (filter applied).
     void observe(const core::UpdateRecord& record);
+    /// Folds another shard's per-session classifiers into this one.
     void merge(State&& other);
+    /// Projects the ranked per-session tallies.
     [[nodiscard]] Report report() const {
       return core::rank_session_types(classifiers_);
     }
+    /// Serializes the per-session evidence (analytics/serialize.h). The
+    /// prefix filter is configuration, not evidence: the loading side
+    /// constructs the pass with the same only_prefix.
+    void save(serialize::Writer& writer) const;
+    /// Restores saved per-session evidence (analytics/serialize.h).
+    void load(serialize::Reader& reader);
 
    private:
     std::optional<Prefix> only_prefix_;
     std::map<core::SessionKey, core::Classifier> classifiers_;
   };
 
+  /// Mints one per-shard state carrying the prefix filter.
   [[nodiscard]] State make_state() const { return State{only_prefix_}; }
 
  private:
@@ -90,29 +123,46 @@ class PerSessionTypesPass {
 /// evidence counters sum across shards; thresholds apply at report().
 class TomographyPass {
  public:
+  /// Default thresholds (core::TomographyOptions).
   TomographyPass() = default;
+  /// Custom inference thresholds.
   explicit TomographyPass(core::TomographyOptions options)
       : options_(options) {}
 
+  /// Wire tag (serialize::PassTag::kTomography).
+  static constexpr std::uint16_t kStateTag = 3;
+
+  /// Per-AS behavior evidence, finalized through the thresholds.
   using Report = std::vector<core::AsEvidence>;
 
+  /// Per-shard evidence counters (see pass.h for the contract).
   class State {
    public:
+    /// Binds the state to the pass's thresholds.
     explicit State(const core::TomographyOptions& options)
         : options_(options) {}
+    /// Accumulates one record's community evidence.
     void observe(const core::UpdateRecord& record) {
       core::accumulate_community_evidence(record, evidence_);
     }
+    /// Sums another shard's evidence counters into this one.
     void merge(State&& other);
+    /// Applies the thresholds and projects per-AS behavior labels.
     [[nodiscard]] Report report() const {
       return core::finalize_community_behavior(evidence_, options_);
     }
+    /// Serializes the evidence counters (analytics/serialize.h).
+    /// Thresholds are configuration: only the counters travel.
+    void save(serialize::Writer& writer) const;
+    /// Restores saved evidence counters (analytics/serialize.h).
+    void load(serialize::Reader& reader);
 
    private:
     core::TomographyOptions options_;
     std::map<Asn, core::AsEvidence> evidence_;
   };
 
+  /// Mints one per-shard state carrying the thresholds.
   [[nodiscard]] State make_state() const { return State{options_}; }
 
  private:
@@ -129,15 +179,25 @@ class CommunityStatsPass {
   explicit CommunityStatsPass(std::size_t histogram_buckets = 17)
       : histogram_buckets_(histogram_buckets < 2 ? 2 : histogram_buckets) {}
 
+  /// Wire tag (serialize::PassTag::kCommunityStats).
+  static constexpr std::uint16_t kStateTag = 4;
+
+  /// Distinct community values attributed to one 16-bit AS namespace.
   struct NamespaceCount {
+    /// The namespace: the high 16 bits of the community value.
     std::uint16_t asn16 = 0;
+    /// Distinct 32-bit community values seen under this namespace.
     std::uint64_t distinct_values = 0;
+    /// Field-wise equality.
     friend bool operator==(const NamespaceCount&,
                            const NamespaceCount&) = default;
   };
 
+  /// The projected community-attribute statistics.
   struct Report {
+    /// Announcements observed.
     std::uint64_t announcements = 0;
+    /// Withdrawals observed.
     std::uint64_t withdrawals = 0;
     /// Announcements carrying at least one community.
     std::uint64_t with_communities = 0;
@@ -150,28 +210,44 @@ class CommunityStatsPass {
     /// histogram[k] = announcements carrying exactly k communities
     /// (last bucket: >= size-1).
     std::vector<std::uint64_t> communities_per_announcement;
+    /// Mean communities per announcement (0 when no announcements).
     [[nodiscard]] double mean_communities() const {
       return announcements == 0
                  ? 0.0
                  : static_cast<double>(community_occurrences) /
                        static_cast<double>(announcements);
     }
+    /// Share of announcements carrying at least one community.
     [[nodiscard]] double share_with_communities() const {
       return announcements == 0
                  ? 0.0
                  : static_cast<double>(with_communities) /
                        static_cast<double>(announcements);
     }
+    /// Field-wise equality.
     friend bool operator==(const Report&, const Report&) = default;
   };
 
+  /// Per-shard value set + histogram (see pass.h for the contract).
   class State {
    public:
+    /// Sizes the histogram to the pass's configured bucket count.
     explicit State(std::size_t histogram_buckets)
         : histogram_(histogram_buckets, 0) {}
+    /// Accumulates one record's community attribute.
     void observe(const core::UpdateRecord& record);
+    /// Unions value sets and sums histograms/counters.
     void merge(State&& other);
+    /// Projects the merged statistics.
     [[nodiscard]] Report report() const;
+    /// Serializes the value set, histogram, and counters
+    /// (analytics/serialize.h).
+    void save(serialize::Writer& writer) const;
+    /// Restores saved statistics (analytics/serialize.h). Rejects
+    /// (ConfigError) a saved histogram whose bucket count differs from
+    /// this state's configuration — merging mismatched histograms would
+    /// index out of bounds.
+    void load(serialize::Reader& reader);
 
    private:
     std::unordered_set<std::uint32_t> values_;
@@ -182,6 +258,7 @@ class CommunityStatsPass {
     std::uint64_t occurrences_ = 0;
   };
 
+  /// Mints one per-shard state with the configured histogram size.
   [[nodiscard]] State make_state() const { return State{histogram_buckets_}; }
 
  private:
@@ -203,44 +280,71 @@ struct DuplicateBurstOptions {
 /// and Figure 5's cleaned-then-re-announced duplicates.
 class DuplicateBurstPass {
  public:
+  /// Default burst threshold (DuplicateBurstOptions).
   DuplicateBurstPass() = default;
+  /// Custom burst threshold.
   explicit DuplicateBurstPass(DuplicateBurstOptions options)
       : options_(options) {}
 
+  /// Wire tag (serialize::PassTag::kDuplicateBurst).
+  static constexpr std::uint16_t kStateTag = 5;
+
+  /// One session's duplicate evidence.
   struct SessionDuplicates {
+    /// The emitting session.
     core::SessionKey session;
     /// Announcements with a predecessor on their stream.
     std::uint64_t classified = 0;
+    /// Attribute-identical (nn) announcements.
     std::uint64_t nn = 0;
     /// Runs of >= min_run consecutive nn announcements.
     std::uint64_t bursts = 0;
+    /// Longest consecutive nn run observed.
     std::uint64_t longest_run = 0;
+    /// nn announcements as a share of classified ones (0 when none).
     [[nodiscard]] double nn_share() const {
       return classified == 0 ? 0.0
                              : static_cast<double>(nn) /
                                    static_cast<double>(classified);
     }
+    /// Field-wise equality.
     friend bool operator==(const SessionDuplicates&,
                            const SessionDuplicates&) = default;
   };
 
+  /// Global totals plus the per-session ranking.
   struct Report {
+    /// Announcements with a predecessor on their stream, all sessions.
     std::uint64_t classified = 0;
+    /// Attribute-identical (nn) announcements, all sessions.
     std::uint64_t nn = 0;
+    /// Bursts (runs of >= min_run), all sessions.
     std::uint64_t bursts = 0;
     /// Sorted by nn count desc, session asc (total order: stable across
     /// platforms).
     std::vector<SessionDuplicates> sessions;
+    /// Field-wise equality.
     friend bool operator==(const Report&, const Report&) = default;
   };
 
+  /// Per-shard run cursors + per-session tallies (see pass.h).
   class State {
    public:
+    /// Binds the state to the pass's burst threshold.
     explicit State(const DuplicateBurstOptions& options)
         : options_(options) {}
+    /// Advances the record's stream cursor and session tally.
     void observe(const core::UpdateRecord& record);
+    /// Folds another shard's cursors and tallies into this one.
     void merge(State&& other);
+    /// Projects the totals and the per-session ranking.
     [[nodiscard]] Report report() const;
+    /// Serializes the evidence (analytics/serialize.h). min_run is
+    /// configuration; the per-stream run cursors and per-session tallies
+    /// are the serialized evidence.
+    void save(serialize::Writer& writer) const;
+    /// Restores saved evidence (analytics/serialize.h).
+    void load(serialize::Reader& reader);
 
    private:
     struct StreamState {
@@ -259,6 +363,7 @@ class DuplicateBurstPass {
     std::map<core::SessionKey, Tally> tallies_;
   };
 
+  /// Mints one per-shard state carrying the burst threshold.
   [[nodiscard]] State make_state() const { return State{options_}; }
 
  private:
@@ -273,19 +378,39 @@ class DuplicateBurstPass {
 /// archives get the same report as a materialized batch.
 class AnomalyPass {
  public:
+  /// Default detection thresholds (core::AnomalyOptions), validated.
   AnomalyPass() { validate_options(options_); }
+  /// Custom thresholds; throws ConfigError on invalid ones (e.g. a
+  /// non-positive novelty window).
   explicit AnomalyPass(core::AnomalyOptions options) : options_(options) {
     validate_options(options_);
   }
 
+  /// Wire tag (serialize::PassTag::kAnomaly).
+  static constexpr std::uint16_t kStateTag = 6;
+
+  /// Duplicate outliers + novelty bursts (core::AnomalyReport).
   using Report = core::AnomalyReport;
 
+  /// Per-shard anomaly evidence (see pass.h for the contract).
   class State {
    public:
+    /// Binds the state to the pass's detection thresholds.
     explicit State(const core::AnomalyOptions& options) : options_(options) {}
+    /// Accumulates one record into the session tallies and novelty
+    /// buckets.
     void observe(const core::UpdateRecord& record);
+    /// Sums another shard's tallies and novelty evidence into this one.
     void merge(State&& other);
+    /// Runs the sigma scoring and burst-episode scan over the merged
+    /// evidence.
     [[nodiscard]] Report report() const;
+    /// Serializes the evidence (analytics/serialize.h). The novelty
+    /// bucket width is configuration and must match across save and load
+    /// (bucket indexes are window-relative).
+    void save(serialize::Writer& writer) const;
+    /// Restores saved evidence (analytics/serialize.h).
+    void load(serialize::Reader& reader);
 
    private:
     core::AnomalyOptions options_;
@@ -293,6 +418,7 @@ class AnomalyPass {
     core::NoveltyEvidence novelty_;
   };
 
+  /// Mints one per-shard state carrying the thresholds.
   [[nodiscard]] State make_state() const { return State{options_}; }
 
  private:
@@ -307,32 +433,50 @@ class AnomalyPass {
 /// worker runs.
 class RevealedPass {
  public:
+  /// Default beacon schedule (core::BeaconSchedule), validated.
   RevealedPass() { schedule_.validate(); }
+  /// Custom schedule; throws ConfigError when invalid (period == 0, or
+  /// window >= period).
   explicit RevealedPass(core::BeaconSchedule schedule) : schedule_(schedule) {
     schedule_.validate();
   }
 
+  /// Wire tag (serialize::PassTag::kRevealed).
+  static constexpr std::uint16_t kStateTag = 7;
+
+  /// Figure 6's revealed-information statistic (core::RevealedStats).
   using Report = core::RevealedStats;
 
+  /// Per-shard phase buckets (see pass.h for the contract).
   class State {
    public:
+    /// Binds the state to the pass's beacon schedule.
     explicit State(const core::BeaconSchedule& schedule)
         : schedule_(schedule) {}
+    /// Buckets one record's attribute by its beacon phase.
     void observe(const core::UpdateRecord& record) {
       core::accumulate_revealed(record, schedule_, evidence_);
     }
+    /// ORs another shard's phase buckets into this one.
     void merge(State&& other) {
       core::merge_revealed(evidence_, std::move(other.evidence_));
     }
+    /// Projects the revealed-information statistics.
     [[nodiscard]] Report report() const {
       return core::finalize_revealed(evidence_);
     }
+    /// Serializes the phase buckets (analytics/serialize.h). The beacon
+    /// schedule is configuration; only the phase buckets travel.
+    void save(serialize::Writer& writer) const;
+    /// Restores saved phase buckets (analytics/serialize.h).
+    void load(serialize::Reader& reader);
 
    private:
     core::BeaconSchedule schedule_;
     core::RevealedEvidence evidence_;
   };
 
+  /// Mints one per-shard state carrying the schedule.
   [[nodiscard]] State make_state() const { return State{schedule_}; }
 
  private:
@@ -347,23 +491,40 @@ class RevealedPass {
 /// (begin, session, prefix), matching find_community_exploration.
 class ExplorationPass {
  public:
+  /// Default beacon schedule (core::BeaconSchedule), validated.
   ExplorationPass() { schedule_.validate(); }
+  /// Custom schedule; throws ConfigError when invalid.
   explicit ExplorationPass(core::BeaconSchedule schedule)
       : schedule_(schedule) {
     schedule_.validate();
   }
 
+  /// Wire tag (serialize::PassTag::kExploration).
+  static constexpr std::uint16_t kStateTag = 8;
+
+  /// Exploration events sorted by (begin, session, prefix).
   using Report = std::vector<core::ExplorationEvent>;
 
+  /// Per-shard run cursors + completed events (see pass.h).
   class State {
    public:
+    /// Binds the state to the pass's beacon schedule.
     explicit State(const core::BeaconSchedule& schedule)
         : schedule_(schedule) {}
+    /// Advances the record's (session, prefix) exploration run.
     void observe(const core::UpdateRecord& record) {
       core::observe_exploration(record, schedule_, runs_, events_);
     }
+    /// Folds another shard's runs and events into this one.
     void merge(State&& other);
+    /// Flushes still-active runs and projects the sorted events.
     [[nodiscard]] Report report() const;
+    /// Serializes the evidence (analytics/serialize.h): both the
+    /// completed events and the still-active per-stream run cursors
+    /// travel, so a restored state continues runs mid-flight.
+    void save(serialize::Writer& writer) const;
+    /// Restores saved runs and events (analytics/serialize.h).
+    void load(serialize::Reader& reader);
 
    private:
     core::BeaconSchedule schedule_;
@@ -371,6 +532,7 @@ class ExplorationPass {
     std::vector<core::ExplorationEvent> events_;
   };
 
+  /// Mints one per-shard state carrying the schedule.
   [[nodiscard]] State make_state() const { return State{schedule_}; }
 
  private:
@@ -383,30 +545,48 @@ class ExplorationPass {
 /// sessions carrying each 16-bit namespace.
 class UsageClassificationPass {
  public:
+  /// Default heuristic knobs (core::UsageOptions).
   UsageClassificationPass() = default;
+  /// Custom heuristic knobs.
   explicit UsageClassificationPass(core::UsageOptions options)
       : options_(options) {}
 
+  /// Wire tag (serialize::PassTag::kUsageClassification).
+  static constexpr std::uint16_t kStateTag = 9;
+
+  /// Per-AS usage profiles (core::AsUsage), sorted by namespace.
   using Report = std::vector<core::AsUsage>;
 
+  /// Per-shard usage evidence (see pass.h for the contract).
   class State {
    public:
+    /// Binds the state to the pass's heuristic knobs.
     explicit State(const core::UsageOptions& options) : options_(options) {}
+    /// Accumulates one record's community usage evidence.
     void observe(const core::UpdateRecord& record) {
       core::accumulate_usage(record, evidence_);
     }
+    /// Sums another shard's usage evidence into this one.
     void merge(State&& other) {
       core::merge_usage(evidence_, std::move(other.evidence_));
     }
+    /// Applies the heuristics and projects per-AS profiles.
     [[nodiscard]] Report report() const {
       return core::finalize_usage(evidence_, options_);
     }
+    /// Serializes the evidence (analytics/serialize.h). Heuristic
+    /// knobs are configuration; per-value counts and per-namespace
+    /// session sets are the serialized evidence.
+    void save(serialize::Writer& writer) const;
+    /// Restores saved evidence (analytics/serialize.h).
+    void load(serialize::Reader& reader);
 
    private:
     core::UsageOptions options_;
     core::UsageEvidence evidence_;
   };
 
+  /// Mints one per-shard state carrying the knobs.
   [[nodiscard]] State make_state() const { return State{options_}; }
 
  private:

@@ -1,0 +1,764 @@
+#include "analytics/serialize.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "analytics/passes.h"
+#include "netbase/error.h"
+
+namespace bgpcc::analytics {
+namespace serialize {
+
+// ---------------------------------------------------------------------------
+// Primitive writer/reader.
+
+void Writer::raw(const void* data, std::size_t size) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  if (!out_) {
+    throw DecodeError("state serialization: write failed (stream error)");
+  }
+  written_ += size;
+}
+
+void Writer::u8(std::uint8_t v) { raw(&v, 1); }
+
+void Writer::u16(std::uint16_t v) {
+  std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8),
+                       static_cast<std::uint8_t>(v)};
+  raw(b, sizeof(b));
+}
+
+void Writer::u32(std::uint32_t v) {
+  std::uint8_t b[4] = {
+      static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+      static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  raw(b, sizeof(b));
+}
+
+void Writer::u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+  raw(b, sizeof(b));
+}
+
+void Writer::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void Writer::boolean(bool v) { u8(v ? 1 : 0); }
+
+void Writer::str(std::string_view s) {
+  if (s.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw ConfigError("state serialization: string exceeds u32 length");
+  }
+  u32(static_cast<std::uint32_t>(s.size()));
+  if (!s.empty()) raw(s.data(), s.size());
+}
+
+void Reader::raw(void* data, std::size_t size) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in_.gcount()) != size) {
+    throw DecodeError("truncated state blob");
+  }
+  read_ += size;
+}
+
+std::uint8_t Reader::u8() {
+  std::uint8_t v = 0;
+  raw(&v, 1);
+  return v;
+}
+
+std::uint16_t Reader::u16() {
+  std::uint8_t b[2];
+  raw(b, sizeof(b));
+  return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+}
+
+std::uint32_t Reader::u32() {
+  std::uint8_t b[4];
+  raw(b, sizeof(b));
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+std::uint64_t Reader::u64() {
+  std::uint8_t b[8];
+  raw(b, sizeof(b));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | b[i];
+  return v;
+}
+
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+
+bool Reader::boolean() { return u8() != 0; }
+
+std::string Reader::str() {
+  std::uint32_t size = u32();
+  // No field in the format approaches this; a corrupt length prefix must
+  // throw before it turns into a giant allocation.
+  if (size > (1u << 20)) {
+    throw DecodeError("corrupt state blob: oversized string length");
+  }
+  std::string out(size, '\0');
+  if (size > 0) raw(out.data(), size);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Block header.
+
+void write_block_header(Writer& w, BlockKind kind) {
+  w.u32(kMagic);
+  w.u16(kFormatVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+}
+
+BlockKind read_block_header(Reader& r) {
+  std::uint32_t magic = r.u32();
+  if (magic != kMagic) {
+    throw DecodeError("not a bgpcc state file (bad magic)");
+  }
+  std::uint16_t version = r.u16();
+  if (version != kFormatVersion) {
+    throw DecodeError("unsupported bgpcc state format version " +
+                      std::to_string(version) + " (this build reads version " +
+                      std::to_string(kFormatVersion) + ")");
+  }
+  std::uint8_t kind = r.u8();
+  if (kind < static_cast<std::uint8_t>(BlockKind::kPartialState) ||
+      kind > static_cast<std::uint8_t>(BlockKind::kIngestCursor)) {
+    throw DecodeError("corrupt bgpcc state file: unknown block kind " +
+                      std::to_string(kind));
+  }
+  return static_cast<BlockKind>(kind);
+}
+
+void read_block_header(Reader& r, BlockKind expected) {
+  BlockKind kind = read_block_header(r);
+  if (kind != expected) {
+    throw DecodeError(
+        "bgpcc state file holds block kind " +
+        std::to_string(static_cast<unsigned>(kind)) + ", expected " +
+        std::to_string(static_cast<unsigned>(expected)));
+  }
+}
+
+std::vector<PassTag> read_state_tags(std::istream& in) {
+  Reader r(in);
+  BlockKind kind = read_block_header(r);
+  if (kind == BlockKind::kIngestCursor) {
+    throw DecodeError(
+        "bgpcc state file is a bare ingest cursor, not a pass-state file");
+  }
+  std::uint16_t count = r.u16();
+  std::vector<PassTag> tags;
+  tags.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    std::uint16_t tag = r.u16();
+    if (tag < static_cast<std::uint16_t>(PassTag::kClassifier) ||
+        tag > static_cast<std::uint16_t>(PassTag::kUsageClassification)) {
+      throw DecodeError("bgpcc state file names unknown pass tag " +
+                        std::to_string(tag) +
+                        " — written by a newer build?");
+    }
+    tags.push_back(static_cast<PassTag>(tag));
+  }
+  return tags;
+}
+
+}  // namespace serialize
+
+// ---------------------------------------------------------------------------
+// Typed helpers shared by the State codecs. Decoding validates everything
+// it reconstructs: ParseError from value-type constructors (Prefix length,
+// AsPath segment size) is rethrown as DecodeError so corrupt input keeps
+// the wire-error taxonomy.
+
+namespace {
+
+using serialize::Reader;
+using serialize::Writer;
+
+void write_ip(Writer& w, const IpAddress& ip) {
+  auto bytes = ip.bytes();
+  w.u8(static_cast<std::uint8_t>(bytes.size()));
+  w.raw(bytes.data(), bytes.size());
+}
+
+IpAddress read_ip(Reader& r) {
+  std::uint8_t size = r.u8();
+  if (size != 4 && size != 16) {
+    throw DecodeError("corrupt state blob: bad address size");
+  }
+  std::uint8_t bytes[16];
+  r.raw(bytes, size);
+  if (size == 4) return IpAddress::v4(bytes[0], bytes[1], bytes[2], bytes[3]);
+  return IpAddress::v6({bytes, 16});
+}
+
+void write_prefix(Writer& w, const Prefix& prefix) {
+  write_ip(w, prefix.address());
+  w.u8(static_cast<std::uint8_t>(prefix.length()));
+}
+
+Prefix read_prefix(Reader& r) {
+  IpAddress address = read_ip(r);
+  std::uint8_t length = r.u8();
+  try {
+    return Prefix(address, length);
+  } catch (const ParseError&) {
+    throw DecodeError("corrupt state blob: prefix length exceeds family");
+  }
+}
+
+void write_session(Writer& w, const core::SessionKey& session) {
+  w.str(session.collector);
+  w.u32(session.peer_asn.value());
+  write_ip(w, session.peer_address);
+}
+
+core::SessionKey read_session(Reader& r) {
+  core::SessionKey out;
+  out.collector = r.str();
+  out.peer_asn = Asn(r.u32());
+  out.peer_address = read_ip(r);
+  return out;
+}
+
+void write_aspath(Writer& w, const AsPath& path) {
+  const auto& segments = path.segments();
+  w.u32(static_cast<std::uint32_t>(segments.size()));
+  for (const AsPathSegment& segment : segments) {
+    w.u8(static_cast<std::uint8_t>(segment.type));
+    w.u32(static_cast<std::uint32_t>(segment.asns.size()));
+    for (Asn asn : segment.asns) w.u32(asn.value());
+  }
+}
+
+AsPath read_aspath(Reader& r) {
+  std::uint32_t segment_count = r.u32();
+  std::vector<AsPathSegment> segments;
+  segments.reserve(std::min<std::uint32_t>(segment_count, 64));
+  for (std::uint32_t s = 0; s < segment_count; ++s) {
+    AsPathSegment segment;
+    std::uint8_t type = r.u8();
+    if (type != static_cast<std::uint8_t>(AsPathSegment::Type::kSet) &&
+        type != static_cast<std::uint8_t>(AsPathSegment::Type::kSequence)) {
+      throw DecodeError("corrupt state blob: bad AS-path segment type");
+    }
+    segment.type = static_cast<AsPathSegment::Type>(type);
+    std::uint32_t asn_count = r.u32();
+    if (asn_count > 255) {
+      // from_segments would reject it anyway; fail before allocating.
+      throw DecodeError("corrupt state blob: oversized AS-path segment");
+    }
+    segment.asns.reserve(asn_count);
+    for (std::uint32_t a = 0; a < asn_count; ++a) {
+      segment.asns.emplace_back(r.u32());
+    }
+    segments.push_back(std::move(segment));
+  }
+  try {
+    return AsPath::from_segments(std::move(segments));
+  } catch (const ParseError&) {
+    throw DecodeError("corrupt state blob: unencodable AS path");
+  }
+}
+
+void write_communities(Writer& w, const CommunitySet& set) {
+  w.u32(static_cast<std::uint32_t>(set.size()));
+  for (Community c : set) w.u32(c.raw());
+}
+
+CommunitySet read_communities(Reader& r) {
+  std::uint32_t count = r.u32();
+  CommunitySet out;
+  for (std::uint32_t i = 0; i < count; ++i) out.add(Community(r.u32()));
+  return out;
+}
+
+void write_opt_u32(Writer& w, const std::optional<std::uint32_t>& v) {
+  w.boolean(v.has_value());
+  if (v) w.u32(*v);
+}
+
+std::optional<std::uint32_t> read_opt_u32(Reader& r) {
+  if (!r.boolean()) return std::nullopt;
+  return r.u32();
+}
+
+void write_type_counts(Writer& w, const core::TypeCounts& counts) {
+  for (std::uint64_t c : counts.counts) w.u64(c);
+  w.u64(counts.first_sightings);
+  w.u64(counts.withdrawals);
+  w.u64(counts.nn_with_med_change);
+}
+
+core::TypeCounts read_type_counts(Reader& r) {
+  core::TypeCounts out;
+  for (std::uint64_t& c : out.counts) c = r.u64();
+  out.first_sightings = r.u64();
+  out.withdrawals = r.u64();
+  out.nn_with_med_change = r.u64();
+  return out;
+}
+
+void write_classifier(Writer& w, const core::Classifier& classifier) {
+  write_type_counts(w, classifier.counts());
+  const core::Classifier::StreamStates& streams = classifier.stream_states();
+  w.u64(streams.size());
+  for (const auto& [key, state] : streams) {
+    write_session(w, key.first);
+    write_prefix(w, key.second);
+    write_aspath(w, state.as_path);
+    write_communities(w, state.communities);
+    write_opt_u32(w, state.med);
+  }
+}
+
+core::Classifier read_classifier(Reader& r) {
+  core::TypeCounts counts = read_type_counts(r);
+  std::uint64_t stream_count = r.u64();
+  core::Classifier::StreamStates streams;
+  for (std::uint64_t i = 0; i < stream_count; ++i) {
+    core::SessionKey session = read_session(r);
+    Prefix prefix = read_prefix(r);
+    core::Classifier::StreamState state;
+    state.as_path = read_aspath(r);
+    state.communities = read_communities(r);
+    state.med = read_opt_u32(r);
+    streams.emplace(std::make_pair(std::move(session), prefix),
+                    std::move(state));
+  }
+  core::Classifier out;
+  out.restore(std::move(streams), counts);
+  return out;
+}
+
+void write_session_classifiers(
+    Writer& w, const std::map<core::SessionKey, core::Classifier>& map) {
+  w.u64(map.size());
+  for (const auto& [session, classifier] : map) {
+    write_session(w, session);
+    write_classifier(w, classifier);
+  }
+}
+
+std::map<core::SessionKey, core::Classifier> read_session_classifiers(
+    Reader& r) {
+  std::uint64_t count = r.u64();
+  std::map<core::SessionKey, core::Classifier> out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    core::SessionKey session = read_session(r);
+    out.emplace(std::move(session), read_classifier(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-pass State codecs. Every layout here is part of wire format
+// version 1 (docs/FORMATS.md documents them field by field; bump
+// serialize::kFormatVersion on any change). Only evidence travels —
+// configuration members (options, schedules, filters) stay with the pass
+// that minted the state, so load() requires an identically configured
+// pass on the reading side.
+
+void ClassifierPass::State::save(serialize::Writer& writer) const {
+  write_classifier(writer, classifier_);
+}
+
+void ClassifierPass::State::load(serialize::Reader& reader) {
+  classifier_ = read_classifier(reader);
+}
+
+void PerSessionTypesPass::State::save(serialize::Writer& writer) const {
+  write_session_classifiers(writer, classifiers_);
+}
+
+void PerSessionTypesPass::State::load(serialize::Reader& reader) {
+  classifiers_ = read_session_classifiers(reader);
+}
+
+void TomographyPass::State::save(serialize::Writer& writer) const {
+  writer.u64(evidence_.size());
+  for (const auto& [asn, evidence] : evidence_) {
+    writer.u32(asn.value());
+    writer.u64(evidence.on_path);
+    writer.u64(evidence.own_namespace_tagged);
+    writer.u64(evidence.as_peer);
+    writer.u64(evidence.as_peer_with_communities);
+    writer.u64(evidence.as_peer_with_foreign);
+  }
+}
+
+void TomographyPass::State::load(serialize::Reader& reader) {
+  std::uint64_t count = reader.u64();
+  evidence_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Asn asn{reader.u32()};
+    core::AsEvidence evidence;
+    evidence.asn = asn;
+    evidence.on_path = reader.u64();
+    evidence.own_namespace_tagged = reader.u64();
+    evidence.as_peer = reader.u64();
+    evidence.as_peer_with_communities = reader.u64();
+    evidence.as_peer_with_foreign = reader.u64();
+    evidence_.emplace(asn, evidence);
+  }
+}
+
+void CommunityStatsPass::State::save(serialize::Writer& writer) const {
+  // unordered_set has no stable iteration order; serialize sorted so the
+  // same state always produces the same bytes (differential tests compare
+  // files, not just decoded values).
+  std::vector<std::uint32_t> values(values_.begin(), values_.end());
+  std::sort(values.begin(), values.end());
+  writer.u64(values.size());
+  for (std::uint32_t v : values) writer.u32(v);
+  writer.u64(histogram_.size());
+  for (std::uint64_t bucket : histogram_) writer.u64(bucket);
+  writer.u64(announcements_);
+  writer.u64(withdrawals_);
+  writer.u64(with_communities_);
+  writer.u64(occurrences_);
+}
+
+void CommunityStatsPass::State::load(serialize::Reader& reader) {
+  std::uint64_t value_count = reader.u64();
+  values_.clear();
+  for (std::uint64_t i = 0; i < value_count; ++i) {
+    values_.insert(reader.u32());
+  }
+  std::uint64_t buckets = reader.u64();
+  if (buckets != histogram_.size()) {
+    throw ConfigError(
+        "CommunityStatsPass: saved state has " + std::to_string(buckets) +
+        " histogram buckets, this pass is configured with " +
+        std::to_string(histogram_.size()) +
+        " — load with the original histogram_buckets");
+  }
+  for (std::uint64_t& bucket : histogram_) bucket = reader.u64();
+  announcements_ = reader.u64();
+  withdrawals_ = reader.u64();
+  with_communities_ = reader.u64();
+  occurrences_ = reader.u64();
+}
+
+void DuplicateBurstPass::State::save(serialize::Writer& writer) const {
+  writer.u64(streams_.size());
+  for (const auto& [key, stream] : streams_) {
+    write_session(writer, key.first);
+    write_prefix(writer, key.second);
+    write_aspath(writer, stream.path);
+    write_communities(writer, stream.communities);
+    writer.u64(stream.run);
+  }
+  writer.u64(tallies_.size());
+  for (const auto& [session, tally] : tallies_) {
+    write_session(writer, session);
+    writer.u64(tally.classified);
+    writer.u64(tally.nn);
+    writer.u64(tally.bursts);
+    writer.u64(tally.longest_run);
+  }
+}
+
+void DuplicateBurstPass::State::load(serialize::Reader& reader) {
+  std::uint64_t stream_count = reader.u64();
+  streams_.clear();
+  for (std::uint64_t i = 0; i < stream_count; ++i) {
+    core::SessionKey session = read_session(reader);
+    Prefix prefix = read_prefix(reader);
+    StreamState stream;
+    stream.path = read_aspath(reader);
+    stream.communities = read_communities(reader);
+    stream.run = reader.u64();
+    streams_.emplace(std::make_pair(std::move(session), prefix),
+                     std::move(stream));
+  }
+  std::uint64_t tally_count = reader.u64();
+  tallies_.clear();
+  for (std::uint64_t i = 0; i < tally_count; ++i) {
+    core::SessionKey session = read_session(reader);
+    Tally tally;
+    tally.classified = reader.u64();
+    tally.nn = reader.u64();
+    tally.bursts = reader.u64();
+    tally.longest_run = reader.u64();
+    tallies_.emplace(std::move(session), tally);
+  }
+}
+
+void AnomalyPass::State::save(serialize::Writer& writer) const {
+  write_session_classifiers(writer, classifiers_);
+  writer.u64(novelty_.size());
+  for (const auto& [community, buckets] : novelty_) {
+    writer.u32(community.raw());
+    writer.u64(buckets.size());
+    for (const auto& [index, bucket] : buckets) {
+      writer.i64(index);
+      writer.u64(bucket.count);
+      writer.i64(bucket.earliest.unix_micros());
+    }
+  }
+}
+
+void AnomalyPass::State::load(serialize::Reader& reader) {
+  classifiers_ = read_session_classifiers(reader);
+  std::uint64_t community_count = reader.u64();
+  novelty_.clear();
+  for (std::uint64_t i = 0; i < community_count; ++i) {
+    Community community{reader.u32()};
+    auto& buckets = novelty_[community];
+    std::uint64_t bucket_count = reader.u64();
+    for (std::uint64_t b = 0; b < bucket_count; ++b) {
+      std::int64_t index = reader.i64();
+      core::NoveltyBucket bucket;
+      bucket.count = reader.u64();
+      bucket.earliest = Timestamp::from_unix_micros(reader.i64());
+      buckets.emplace(index, bucket);
+    }
+  }
+}
+
+// PhaseBuckets bitmask (RevealedPass).
+constexpr std::uint8_t kPhaseAnnounce = 1;
+constexpr std::uint8_t kPhaseWithdraw = 2;
+constexpr std::uint8_t kPhaseOutside = 4;
+
+void RevealedPass::State::save(serialize::Writer& writer) const {
+  writer.u64(evidence_.size());
+  for (const auto& [attrs, buckets] : evidence_) {
+    write_communities(writer, attrs);
+    std::uint8_t mask = 0;
+    if (buckets.announce) mask |= kPhaseAnnounce;
+    if (buckets.withdraw) mask |= kPhaseWithdraw;
+    if (buckets.outside) mask |= kPhaseOutside;
+    writer.u8(mask);
+  }
+}
+
+void RevealedPass::State::load(serialize::Reader& reader) {
+  std::uint64_t count = reader.u64();
+  evidence_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CommunitySet attrs = read_communities(reader);
+    std::uint8_t mask = reader.u8();
+    core::PhaseBuckets buckets;
+    buckets.announce = (mask & kPhaseAnnounce) != 0;
+    buckets.withdraw = (mask & kPhaseWithdraw) != 0;
+    buckets.outside = (mask & kPhaseOutside) != 0;
+    evidence_.emplace(std::move(attrs), buckets);
+  }
+}
+
+namespace {
+
+void write_exploration_event(Writer& w, const core::ExplorationEvent& event) {
+  write_session(w, event.session);
+  write_prefix(w, event.prefix);
+  write_aspath(w, event.as_path);
+  w.i64(event.begin.unix_micros());
+  w.i64(event.end.unix_micros());
+  w.i64(event.nc_count);
+  w.i64(event.distinct_attributes);
+}
+
+core::ExplorationEvent read_exploration_event(Reader& r) {
+  core::ExplorationEvent event;
+  event.session = read_session(r);
+  event.prefix = read_prefix(r);
+  event.as_path = read_aspath(r);
+  event.begin = Timestamp::from_unix_micros(r.i64());
+  event.end = Timestamp::from_unix_micros(r.i64());
+  event.nc_count = static_cast<int>(r.i64());
+  event.distinct_attributes = static_cast<int>(r.i64());
+  return event;
+}
+
+}  // namespace
+
+void ExplorationPass::State::save(serialize::Writer& writer) const {
+  writer.u64(runs_.size());
+  for (const auto& [key, run] : runs_) {
+    write_session(writer, key.first);
+    write_prefix(writer, key.second);
+    writer.boolean(run.path.has_value());
+    if (run.path) write_aspath(writer, *run.path);
+    writer.boolean(run.communities.has_value());
+    if (run.communities) write_communities(writer, *run.communities);
+    write_exploration_event(writer, run.current);
+    writer.u64(run.attrs_seen.size());
+    for (const auto& [attrs, seen] : run.attrs_seen) {
+      write_communities(writer, attrs);
+      writer.i64(seen);
+    }
+    writer.boolean(run.active);
+  }
+  writer.u64(events_.size());
+  for (const core::ExplorationEvent& event : events_) {
+    write_exploration_event(writer, event);
+  }
+}
+
+void ExplorationPass::State::load(serialize::Reader& reader) {
+  std::uint64_t run_count = reader.u64();
+  runs_.clear();
+  for (std::uint64_t i = 0; i < run_count; ++i) {
+    core::SessionKey session = read_session(reader);
+    Prefix prefix = read_prefix(reader);
+    core::ExplorationRun run;
+    if (reader.boolean()) run.path = read_aspath(reader);
+    if (reader.boolean()) run.communities = read_communities(reader);
+    run.current = read_exploration_event(reader);
+    std::uint64_t attr_count = reader.u64();
+    for (std::uint64_t a = 0; a < attr_count; ++a) {
+      CommunitySet attrs = read_communities(reader);
+      run.attrs_seen.emplace(std::move(attrs),
+                             static_cast<int>(reader.i64()));
+    }
+    run.active = reader.boolean();
+    runs_.emplace(std::make_pair(std::move(session), prefix), std::move(run));
+  }
+  std::uint64_t event_count = reader.u64();
+  events_.clear();
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    events_.push_back(read_exploration_event(reader));
+  }
+}
+
+void UsageClassificationPass::State::save(serialize::Writer& writer) const {
+  writer.u64(evidence_.value_occurrences.size());
+  for (const auto& [value, count] : evidence_.value_occurrences) {
+    writer.u32(value);
+    writer.u64(count);
+  }
+  writer.u64(evidence_.namespace_sessions.size());
+  for (const auto& [asn16, sessions] : evidence_.namespace_sessions) {
+    writer.u16(asn16);
+    writer.u64(sessions.size());
+    for (const core::SessionKey& session : sessions) {
+      write_session(writer, session);
+    }
+  }
+}
+
+void UsageClassificationPass::State::load(serialize::Reader& reader) {
+  evidence_ = core::UsageEvidence{};
+  std::uint64_t value_count = reader.u64();
+  for (std::uint64_t i = 0; i < value_count; ++i) {
+    std::uint32_t value = reader.u32();
+    evidence_.value_occurrences[value] = reader.u64();
+  }
+  std::uint64_t namespace_count = reader.u64();
+  for (std::uint64_t i = 0; i < namespace_count; ++i) {
+    std::uint16_t asn16 = reader.u16();
+    auto& sessions = evidence_.namespace_sessions[asn16];
+    std::uint64_t session_count = reader.u64();
+    for (std::uint64_t s = 0; s < session_count; ++s) {
+      sessions.insert(read_session(reader));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ingest cursor codec.
+
+namespace serialize {
+
+void write_ingest_checkpoint(Writer& w, const core::IngestCheckpoint& state) {
+  write_block_header(w, BlockKind::kIngestCursor);
+  w.u64(state.chunk_records);
+  w.u32(static_cast<std::uint32_t>(state.collectors.size()));
+  for (const std::string& collector : state.collectors) w.str(collector);
+  w.u64(state.next_source);
+  w.boolean(state.input_open);
+  w.u32(state.current_file);
+  w.u32(state.chunk_index);
+  w.u64(state.carry.size());
+  for (const core::cleaning::SecondCarry& shard : state.carry) {
+    // unordered_map: serialize sorted by session so identical carry state
+    // always yields identical bytes.
+    std::vector<std::pair<core::SessionKey, std::pair<std::int64_t, int>>>
+        entries(shard.begin(), shard.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u64(entries.size());
+    for (const auto& [session, carry] : entries) {
+      write_session(w, session);
+      w.i64(carry.first);
+      w.i64(carry.second);
+    }
+  }
+  w.u64(state.cleaning.dropped_unallocated_asn);
+  w.u64(state.cleaning.dropped_unallocated_prefix);
+  w.u64(state.cleaning.route_server_paths_repaired);
+  w.u64(state.cleaning.timestamps_adjusted);
+  w.u64(state.stats.files);
+  w.u64(state.stats.chunks);
+  w.u64(state.stats.raw_records);
+  w.u64(state.stats.update_messages);
+  w.u64(state.stats.records);
+  w.u64(state.stats.windows);
+}
+
+core::IngestCheckpoint read_ingest_checkpoint(Reader& r) {
+  read_block_header(r, BlockKind::kIngestCursor);
+  core::IngestCheckpoint out;
+  out.chunk_records = static_cast<std::size_t>(r.u64());
+  std::uint32_t collector_count = r.u32();
+  if (collector_count > (1u << 16)) {
+    throw DecodeError("corrupt ingest cursor: more than 2^16 sources");
+  }
+  out.collectors.reserve(collector_count);
+  for (std::uint32_t i = 0; i < collector_count; ++i) {
+    out.collectors.push_back(r.str());
+  }
+  out.next_source = r.u64();
+  out.input_open = r.boolean();
+  out.current_file = r.u32();
+  out.chunk_index = r.u32();
+  std::uint64_t shard_count = r.u64();
+  if (shard_count > 4096) {
+    throw DecodeError("corrupt ingest cursor: implausible shard count");
+  }
+  out.carry.resize(static_cast<std::size_t>(shard_count));
+  for (core::cleaning::SecondCarry& shard : out.carry) {
+    std::uint64_t entry_count = r.u64();
+    for (std::uint64_t e = 0; e < entry_count; ++e) {
+      core::SessionKey session = read_session(r);
+      std::int64_t second = r.i64();
+      int spaced = static_cast<int>(r.i64());
+      shard.emplace(std::move(session), std::make_pair(second, spaced));
+    }
+  }
+  out.cleaning.dropped_unallocated_asn = static_cast<std::size_t>(r.u64());
+  out.cleaning.dropped_unallocated_prefix = static_cast<std::size_t>(r.u64());
+  out.cleaning.route_server_paths_repaired =
+      static_cast<std::size_t>(r.u64());
+  out.cleaning.timestamps_adjusted = static_cast<std::size_t>(r.u64());
+  out.stats.files = static_cast<std::size_t>(r.u64());
+  out.stats.chunks = static_cast<std::size_t>(r.u64());
+  out.stats.raw_records = static_cast<std::size_t>(r.u64());
+  out.stats.update_messages = static_cast<std::size_t>(r.u64());
+  out.stats.records = static_cast<std::size_t>(r.u64());
+  out.stats.windows = static_cast<std::size_t>(r.u64());
+  return out;
+}
+
+}  // namespace serialize
+}  // namespace bgpcc::analytics

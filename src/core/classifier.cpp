@@ -85,6 +85,11 @@ std::optional<AnnouncementType> Classifier::classify(
   return type;
 }
 
+void Classifier::restore(StreamStates streams, TypeCounts counts) {
+  last_ = std::move(streams);
+  counts_ = counts;
+}
+
 void Classifier::merge(Classifier&& other) {
   counts_ += other.counts_;
   // std::map::merge keeps the existing element on key collision — the

@@ -71,6 +71,18 @@ struct TypeCounts {
 /// Streaming classifier; feed records in chronological order per session.
 class Classifier {
  public:
+  /// The per-stream comparison cursor: the attributes of the last
+  /// announcement seen on one (session, prefix) stream. Public so the
+  /// checkpoint codec (analytics/serialize.h) can persist a classifier
+  /// mid-stream and resume with byte-identical classifications.
+  struct StreamState {
+    AsPath as_path;
+    CommunitySet communities;
+    std::optional<std::uint32_t> med;
+  };
+  /// Stream cursors keyed by (session, prefix).
+  using StreamStates = std::map<std::pair<SessionKey, Prefix>, StreamState>;
+
   /// Classifies an announcement against the stream's previous one.
   /// Returns nullopt for withdrawals (tallied) and first sightings.
   std::optional<AnnouncementType> classify(const UpdateRecord& record);
@@ -79,6 +91,14 @@ class Classifier {
 
   /// Number of distinct (session, prefix) streams seen.
   [[nodiscard]] std::size_t stream_count() const { return last_.size(); }
+
+  /// The live per-stream comparison cursors (checkpoint serialization).
+  [[nodiscard]] const StreamStates& stream_states() const { return last_; }
+
+  /// Replaces the whole classifier state — the checkpoint/restore hook.
+  /// The restored classifier continues exactly where the saved one
+  /// stopped: same tallies, same per-stream comparison cursors.
+  void restore(StreamStates streams, TypeCounts counts);
 
   /// Absorbs another classifier: tallies are summed and per-stream states
   /// united — the associative merge of shard-parallel classification
@@ -90,12 +110,7 @@ class Classifier {
   void merge(Classifier&& other);
 
  private:
-  struct StreamState {
-    AsPath as_path;
-    CommunitySet communities;
-    std::optional<std::uint32_t> med;
-  };
-  std::map<std::pair<SessionKey, Prefix>, StreamState> last_;
+  StreamStates last_;
   TypeCounts counts_;
 };
 

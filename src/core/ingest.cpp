@@ -1192,6 +1192,110 @@ IngestResult StreamingIngestor::finish(
 
 const IngestStats& StreamingIngestor::stats() const { return impl_->stats; }
 
+IngestCheckpoint StreamingIngestor::checkpoint_state() const {
+  const Impl& impl = *impl_;
+  if (impl.failed) {
+    throw ConfigError(
+        "StreamingIngestor: checkpoint_state() after a failed "
+        "poll()/finish() — the aborted window's records are already lost");
+  }
+  if (impl.finished) {
+    throw ConfigError(
+        "StreamingIngestor: checkpoint_state() after finish() — there is "
+        "nothing left to resume");
+  }
+  IngestCheckpoint out;
+  out.chunk_records = impl.chunk_records;
+  out.collectors.reserve(impl.sources.size());
+  for (const Impl::SourceEntry& entry : impl.sources) {
+    out.collectors.push_back(entry.collector);
+  }
+  out.next_source = impl.next_source;
+  out.input_open = impl.input.has_value();
+  out.current_file = impl.current_file;
+  out.chunk_index = impl.chunk_index;
+  out.carry = impl.carry;
+  out.cleaning = impl.cleaning_report;
+  out.stats = impl.stats;
+  return out;
+}
+
+void StreamingIngestor::restore_checkpoint(const IngestCheckpoint& state) {
+  Impl& impl = *impl_;
+  if (impl.finished || impl.failed || impl.windowed ||
+      impl.stats.raw_records != 0 || impl.input) {
+    throw ConfigError(
+        "StreamingIngestor: restore_checkpoint() on a used ingestor — "
+        "restore into a freshly constructed one, before any poll()");
+  }
+  if (state.chunk_records != impl.chunk_records) {
+    throw ConfigError(
+        "StreamingIngestor: checkpoint chunk_records (" +
+        std::to_string(state.chunk_records) + ") differs from configured (" +
+        std::to_string(impl.chunk_records) +
+        ") — chunking defines the resume point, configure it identically");
+  }
+  if (state.collectors.size() != impl.sources.size()) {
+    throw ConfigError(
+        "StreamingIngestor: checkpoint lists " +
+        std::to_string(state.collectors.size()) + " sources but " +
+        std::to_string(impl.sources.size()) +
+        " are registered — re-register the original inputs in order");
+  }
+  for (std::size_t i = 0; i < state.collectors.size(); ++i) {
+    if (state.collectors[i] != impl.sources[i].collector) {
+      throw ConfigError("StreamingIngestor: checkpoint source " +
+                        std::to_string(i) + " is collector '" +
+                        state.collectors[i] + "' but '" +
+                        impl.sources[i].collector + "' is registered");
+    }
+  }
+  if (state.carry.size() != kShards) {
+    throw ConfigError(
+        "StreamingIngestor: checkpoint carries " +
+        std::to_string(state.carry.size()) + " shards, engine uses " +
+        std::to_string(kShards));
+  }
+  if (state.next_source > impl.sources.size() ||
+      (state.input_open &&
+       (state.current_file >= impl.sources.size() ||
+        state.next_source != state.current_file + std::uint64_t{1}))) {
+    throw ConfigError(
+        "StreamingIngestor: checkpoint cursor is out of range for the "
+        "registered sources");
+  }
+
+  impl.carry = state.carry;
+  impl.cleaning_report = state.cleaning;
+  impl.stats = state.stats;
+  impl.stats.shards = kShards;
+  impl.stats.threads = impl.threads;
+  impl.stats.files = impl.sources.size();
+  impl.next_source = static_cast<std::size_t>(state.next_source);
+  impl.windowed = true;  // resumed runs finish via the run-merge path
+
+  if (state.input_open) {
+    Impl::SourceEntry& entry = impl.sources[state.current_file];
+    impl.current_file = state.current_file;
+    impl.input = entry.is_file ? mrt::InputStream::open_file(entry.path)
+                               : mrt::InputStream::wrap(*entry.borrowed);
+    impl.reader.emplace(impl.input->stream(), impl.chunk_records);
+    // Chunking is deterministic, so discarding the consumed chunks
+    // relocates the framing cursor to the exact record the checkpointed
+    // run would have read next.
+    for (std::uint32_t c = 0; c < state.chunk_index; ++c) {
+      if (!impl.reader->next_chunk()) {
+        throw DecodeError(
+            "restore_checkpoint: source '" + entry.collector +
+            "' ends before checkpoint chunk " +
+            std::to_string(state.chunk_index) +
+            " — the input differs from the checkpointed run");
+      }
+    }
+    impl.chunk_index = state.chunk_index;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Batch entry points: thin wrappers over the streaming core.
 

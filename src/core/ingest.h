@@ -143,6 +143,45 @@ struct IngestResult {
   IngestStats stats;
 };
 
+/// A resumable snapshot of a windowed StreamingIngestor, taken between
+/// windows (see StreamingIngestor::checkpoint_state). Plain data: the
+/// byte encoding lives in analytics/serialize.h so core stays free of
+/// any wire-format dependency.
+///
+/// The snapshot captures the framing cursor (which source, how many
+/// chunks consumed), the per-shard §4 cleaning carry, and the cumulative
+/// counters — everything needed to re-frame the SAME deterministic
+/// chunk/record sequence from the first unconsumed chunk onward.
+/// Completed window runs (RunStore) are deliberately NOT part of the
+/// snapshot: they live in spill files owned by the original process, so
+/// a resumed run's finish() stream contains only post-restore windows.
+/// Analysis reports stay exact because pass states checkpoint separately
+/// (AnalysisDriver::checkpoint) and cover every pre-checkpoint record.
+struct IngestCheckpoint {
+  /// IngestOptions::chunk_records of the checkpointed run. Chunking
+  /// defines the window boundaries and arrival sequence, so resuming
+  /// with a different value would change the replayed suffix; restore
+  /// validates it.
+  std::size_t chunk_records = 0;
+  /// Collector name of each registered source, in add order. Restore
+  /// validates count and names so the cursor indexes the same inputs.
+  std::vector<std::string> collectors;
+  /// Index of the next source the framer would open.
+  std::uint64_t next_source = 0;
+  /// True when a source was open mid-file at checkpoint time; the fields
+  /// below then locate the resume point inside it.
+  bool input_open = false;
+  std::uint32_t current_file = 0;
+  /// Chunks already consumed from the open source (chunking is
+  /// deterministic, so skipping this many chunks relocates the cursor
+  /// exactly).
+  std::uint32_t chunk_index = 0;
+  /// Per-shard cleaning carry (kIngestShards entries).
+  std::vector<cleaning::SecondCarry> carry;
+  CleaningReport cleaning;
+  IngestStats stats;
+};
+
 /// The streaming windowed ingestion engine. Usage:
 ///
 ///   StreamingIngestor ingestor(options);          // begin
@@ -198,6 +237,24 @@ class StreamingIngestor {
 
   /// Progress so far: counters cover every window processed to date.
   [[nodiscard]] const IngestStats& stats() const;
+
+  /// Snapshots the windowed framing cursor, cleaning carry, and counters
+  /// between windows — call after poll() returns, never concurrently
+  /// with it. Throws ConfigError once the ingestor is finished or
+  /// poisoned (there is nothing left to resume). See IngestCheckpoint
+  /// for what is (and is not) captured.
+  [[nodiscard]] IngestCheckpoint checkpoint_state() const;
+
+  /// Rewinds a FRESH ingestor (sources registered, nothing polled) to a
+  /// checkpoint: validates that chunk_records and the registered
+  /// collector names match the snapshot (ConfigError otherwise),
+  /// restores carry/cleaning/stats, and relocates the framing cursor by
+  /// re-opening the partially consumed source and discarding the
+  /// already-processed chunks (deterministic chunking makes the skip
+  /// exact). Throws DecodeError when the source is shorter than the
+  /// checkpoint claims. Subsequent poll()/finish() continue from the
+  /// first unconsumed chunk.
+  void restore_checkpoint(const IngestCheckpoint& state);
 
  private:
   struct Impl;

@@ -1,0 +1,345 @@
+// Kill-and-resume differential for the checkpoint subsystem
+// (AnalysisDriver::checkpoint/restore + StreamingIngestor cursor):
+// interrupt a windowed analysis run after window K, serialize driver +
+// ingest cursor, rebuild both in a "new process" (fresh objects, fresh
+// input streams), resume, and require the final reports of every
+// shipped pass to be IDENTICAL to the uninterrupted run — for every K.
+//
+// Also pins the documented non-goals and misuse errors: the resumed
+// finish() stream contains only post-checkpoint windows (RunStore spill
+// files belong to the original process), and every out-of-order or
+// mismatched-configuration call throws ConfigError instead of
+// corrupting results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analytics/driver.h"
+#include "analytics/passes.h"
+#include "analytics/serialize.h"
+#include "archive_gen.h"
+#include "core/cleaning.h"
+#include "core/ingest.h"
+#include "core/registry.h"
+#include "core/stream.h"
+#include "netbase/error.h"
+
+namespace bgpcc::analytics {
+namespace {
+
+using core::CleaningOptions;
+using core::IngestOptions;
+using core::IngestResult;
+using core::Registry;
+using core::StreamingIngestor;
+using core::archgen::allocated_registry;
+using core::archgen::ArchiveGenerator;
+
+struct Handles {
+  PassHandle<ClassifierPass> types;
+  PassHandle<PerSessionTypesPass> per_session;
+  PassHandle<TomographyPass> tomography;
+  PassHandle<CommunityStatsPass> communities;
+  PassHandle<DuplicateBurstPass> duplicates;
+  PassHandle<AnomalyPass> anomaly;
+  PassHandle<RevealedPass> revealed;
+  PassHandle<ExplorationPass> exploration;
+  PassHandle<UsageClassificationPass> usage;
+};
+
+Handles add_all_passes(AnalysisDriver& driver) {
+  return Handles{driver.add(ClassifierPass{}),
+                 driver.add(PerSessionTypesPass{}),
+                 driver.add(TomographyPass{}),
+                 driver.add(CommunityStatsPass{}),
+                 driver.add(DuplicateBurstPass{}),
+                 driver.add(AnomalyPass{}),
+                 driver.add(RevealedPass{}),
+                 driver.add(ExplorationPass{}),
+                 driver.add(UsageClassificationPass{})};
+}
+
+struct AllReports {
+  ClassifierPass::Report types;
+  PerSessionTypesPass::Report per_session;
+  TomographyPass::Report tomography;
+  CommunityStatsPass::Report communities;
+  DuplicateBurstPass::Report duplicates;
+  AnomalyPass::Report anomaly;
+  RevealedPass::Report revealed;
+  ExplorationPass::Report exploration;
+  UsageClassificationPass::Report usage;
+
+  friend bool operator==(const AllReports&, const AllReports&) = default;
+};
+
+AllReports collect(AnalysisDriver& driver, const Handles& handles) {
+  return AllReports{driver.report(handles.types),
+                    driver.report(handles.per_session),
+                    driver.report(handles.tomography),
+                    driver.report(handles.communities),
+                    driver.report(handles.duplicates),
+                    driver.report(handles.anomaly),
+                    driver.report(handles.revealed),
+                    driver.report(handles.exploration),
+                    driver.report(handles.usage)};
+}
+
+/// The shared two-collector fixture: sessions on two archives, windowed
+/// ingestion so a checkpoint can land mid-source or between sources.
+struct Fixture {
+  std::string archive_a;
+  std::string archive_b;
+  Registry registry;
+  CleaningOptions cleaning;
+
+  Fixture() {
+    ArchiveGenerator gen_a(20260806);
+    ArchiveGenerator gen_b(20260807);
+    archive_a = gen_a.generate(700);
+    archive_b = gen_b.generate(500);
+    registry = allocated_registry();
+    cleaning.registry = &registry;
+  }
+
+  [[nodiscard]] IngestOptions options() const {
+    IngestOptions opt;
+    opt.chunk_records = 32;
+    opt.window_records = 128;
+    opt.cleaning = &cleaning;
+    return opt;
+  }
+
+  /// Builds driver + ingestor wired together over fresh input streams.
+  struct Run {
+    AnalysisDriver driver;
+    Handles handles;
+    IngestOptions opt;
+    std::unique_ptr<std::istringstream> in_a;
+    std::unique_ptr<std::istringstream> in_b;
+    std::unique_ptr<StreamingIngestor> engine;
+  };
+
+  [[nodiscard]] std::unique_ptr<Run> start() const {
+    auto run = std::make_unique<Run>();
+    run->handles = add_all_passes(run->driver);
+    run->opt = options();
+    run->driver.attach(run->opt);
+    run->engine = std::make_unique<StreamingIngestor>(run->opt);
+    run->in_a = std::make_unique<std::istringstream>(archive_a);
+    run->in_b = std::make_unique<std::istringstream>(archive_b);
+    run->engine->add_stream("rrc00", *run->in_a);
+    run->engine->add_stream("rrc01", *run->in_b);
+    return run;
+  }
+};
+
+TEST(CheckpointResume, EveryInterruptionPointResumesExactly) {
+  Fixture fixture;
+
+  // Uninterrupted reference (and the window count for the K sweep).
+  auto reference = fixture.start();
+  std::size_t windows = 0;
+  while (reference->engine->poll()) ++windows;
+  IngestResult ref_result = reference->engine->finish();
+  ASSERT_GT(ref_result.stream.size(), 0u);
+  ASSERT_GT(windows, 3u) << "fixture too small to exercise resume";
+  AllReports expected = collect(reference->driver, reference->handles);
+  ASSERT_GT(expected.types.counts.total(), 0u);
+  ASSERT_GT(expected.revealed.total_unique, 0u);
+
+  for (std::size_t k = 1; k < windows; ++k) {
+    // "Process one": run K windows, checkpoint, drop everything.
+    std::ostringstream checkpoint;
+    {
+      auto run = fixture.start();
+      for (std::size_t w = 0; w < k; ++w) {
+        ASSERT_TRUE(run->engine->poll()) << "k=" << k;
+      }
+      run->driver.checkpoint(checkpoint, *run->engine);
+    }
+
+    // "Process two": fresh everything, restore, resume to completion.
+    auto resumed = fixture.start();
+    std::istringstream checkpoint_in(checkpoint.str());
+    resumed->driver.restore(checkpoint_in, *resumed->engine);
+    IngestResult result = resumed->engine->finish();
+    // The resumed stream holds only post-checkpoint windows (the
+    // original process owns the earlier runs); the REPORTS are complete
+    // because the driver states cover every pre-checkpoint record.
+    EXPECT_LT(result.stream.size(), ref_result.stream.size()) << "k=" << k;
+    EXPECT_EQ(collect(resumed->driver, resumed->handles), expected)
+        << "k=" << k;
+  }
+}
+
+TEST(CheckpointResume, CheckpointIsDeterministic) {
+  Fixture fixture;
+  std::ostringstream first;
+  std::ostringstream second;
+  for (std::ostringstream* out : {&first, &second}) {
+    auto run = fixture.start();
+    ASSERT_TRUE(run->engine->poll());
+    ASSERT_TRUE(run->engine->poll());
+    run->driver.checkpoint(*out, *run->engine);
+  }
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(CheckpointResume, StateOnlyCheckpointRestoresReports) {
+  Fixture fixture;
+  auto run = fixture.start();
+  IngestResult result = run->engine->finish();
+  ASSERT_GT(result.stream.size(), 0u);
+
+  // Driver-only snapshot (no ingest cursor): shard-faithful states.
+  std::ostringstream out;
+  run->driver.checkpoint(out);
+  AllReports expected = collect(run->driver, run->handles);
+
+  AnalysisDriver restored;
+  Handles handles = add_all_passes(restored);
+  std::istringstream in(out.str());
+  restored.restore(in);
+  EXPECT_EQ(collect(restored, handles), expected);
+
+  // The same snapshot is also loadable as a disjoint-run partial.
+  AnalysisDriver merged;
+  Handles merged_handles = add_all_passes(merged);
+  std::istringstream again(out.str());
+  merged.load_state(again);
+  EXPECT_EQ(collect(merged, merged_handles), expected);
+}
+
+TEST(CheckpointResume, MisuseThrowsConfigError) {
+  Fixture fixture;
+
+  // Checkpoint after finalization.
+  {
+    auto run = fixture.start();
+    (void)run->engine->finish();
+    (void)run->driver.report(run->handles.types);
+    std::ostringstream out;
+    EXPECT_THROW(run->driver.checkpoint(out), ConfigError);
+    std::istringstream in("x");
+    EXPECT_THROW(run->driver.restore(in), ConfigError);
+  }
+
+  // checkpoint_state once finished.
+  {
+    auto run = fixture.start();
+    (void)run->engine->finish();
+    EXPECT_THROW((void)run->engine->checkpoint_state(), ConfigError);
+  }
+
+  // Cursor-less checkpoint restored with an ingestor.
+  {
+    auto run = fixture.start();
+    ASSERT_TRUE(run->engine->poll());
+    std::ostringstream out;
+    run->driver.checkpoint(out);  // no ingestor
+    auto resumed = fixture.start();
+    std::istringstream in(out.str());
+    EXPECT_THROW(resumed->driver.restore(in, *resumed->engine), ConfigError);
+  }
+
+  // Mismatched chunk_records on the resuming ingestor.
+  {
+    auto run = fixture.start();
+    ASSERT_TRUE(run->engine->poll());
+    std::ostringstream out;
+    run->driver.checkpoint(out, *run->engine);
+
+    AnalysisDriver driver;
+    (void)add_all_passes(driver);
+    IngestOptions opt = fixture.options();
+    opt.chunk_records = 64;  // chunking defines windows: must match
+    driver.attach(opt);
+    StreamingIngestor engine(opt);
+    std::istringstream in_a(fixture.archive_a);
+    std::istringstream in_b(fixture.archive_b);
+    engine.add_stream("rrc00", in_a);
+    engine.add_stream("rrc01", in_b);
+    std::istringstream in(out.str());
+    EXPECT_THROW(driver.restore(in, engine), ConfigError);
+  }
+
+  // Mismatched collector registration.
+  {
+    auto run = fixture.start();
+    ASSERT_TRUE(run->engine->poll());
+    std::ostringstream out;
+    run->driver.checkpoint(out, *run->engine);
+
+    AnalysisDriver driver;
+    (void)add_all_passes(driver);
+    IngestOptions opt = fixture.options();
+    driver.attach(opt);
+    StreamingIngestor engine(opt);
+    std::istringstream in_a(fixture.archive_a);
+    engine.add_stream("rrc00", in_a);  // rrc01 missing
+    std::istringstream in(out.str());
+    EXPECT_THROW(driver.restore(in, engine), ConfigError);
+  }
+
+  // Restore into a used (already polled) ingestor.
+  {
+    auto run = fixture.start();
+    ASSERT_TRUE(run->engine->poll());
+    std::ostringstream out;
+    run->driver.checkpoint(out, *run->engine);
+
+    auto resumed = fixture.start();
+    ASSERT_TRUE(resumed->engine->poll());
+    std::istringstream in(out.str());
+    EXPECT_THROW(resumed->driver.restore(in, *resumed->engine), ConfigError);
+  }
+}
+
+TEST(CheckpointResume, TruncatedCheckpointThrowsDecodeError) {
+  Fixture fixture;
+  auto run = fixture.start();
+  ASSERT_TRUE(run->engine->poll());
+  std::ostringstream out;
+  run->driver.checkpoint(out, *run->engine);
+  std::string bytes = out.str();
+
+  for (std::size_t cut : {std::size_t{3}, std::size_t{20}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    auto resumed = fixture.start();
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_THROW(resumed->driver.restore(in, *resumed->engine), DecodeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointResume, SourceShorterThanCheckpointThrows) {
+  Fixture fixture;
+  auto run = fixture.start();
+  ASSERT_TRUE(run->engine->poll());
+  ASSERT_TRUE(run->engine->poll());
+  std::ostringstream out;
+  run->driver.checkpoint(out, *run->engine);
+
+  // Resume against a truncated first archive: the framer cannot skip to
+  // the checkpointed chunk, and must say so rather than resume wrong.
+  AnalysisDriver driver;
+  (void)add_all_passes(driver);
+  IngestOptions opt = fixture.options();
+  driver.attach(opt);
+  StreamingIngestor engine(opt);
+  std::istringstream in_a(fixture.archive_a.substr(0, 64));
+  std::istringstream in_b(fixture.archive_b);
+  engine.add_stream("rrc00", in_a);
+  engine.add_stream("rrc01", in_b);
+  std::istringstream in(out.str());
+  EXPECT_THROW(driver.restore(in, engine), DecodeError);
+}
+
+}  // namespace
+}  // namespace bgpcc::analytics

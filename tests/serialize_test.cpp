@@ -1,0 +1,500 @@
+// The wire codec's correctness battery (analytics/serialize.h):
+//
+//  - primitives: big-endian byte layouts pinned, roundtrips exact;
+//  - roundtrip: save_state → load_state reproduces every shipped pass's
+//    report exactly;
+//  - differential: per-collector partial runs, serialized and fanned
+//    back in, report identically to the monolithic run — the
+//    associativity proof for the on-disk path;
+//  - robustness: truncation at every prefix length, bad magic, wrong
+//    version, cross-driver tag mismatches, bare-cursor misuse, and a
+//    corrupt length prefix all throw DecodeError/ConfigError — never UB
+//    (the ASan/UBSan CI jobs run this suite).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analytics/driver.h"
+#include "analytics/passes.h"
+#include "analytics/serialize.h"
+#include "archive_gen.h"
+#include "core/cleaning.h"
+#include "core/ingest.h"
+#include "core/registry.h"
+#include "core/stream.h"
+#include "netbase/error.h"
+
+namespace bgpcc::analytics {
+namespace {
+
+using core::CleaningOptions;
+using core::IngestOptions;
+using core::IngestResult;
+using core::Registry;
+using core::StreamingIngestor;
+using core::archgen::allocated_registry;
+using core::archgen::ArchiveGenerator;
+
+// ---------------------------------------------------------------------------
+// Primitives.
+
+TEST(SerializePrimitives, BigEndianLayoutsArePinned) {
+  std::ostringstream out;
+  serialize::Writer w(out);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  std::string bytes = out.str();
+  ASSERT_EQ(bytes.size(), 15u);
+  const unsigned char expected[] = {0xAB, 0x12, 0x34, 0xDE, 0xAD,
+                                    0xBE, 0xEF, 0x01, 0x02, 0x03,
+                                    0x04, 0x05, 0x06, 0x07, 0x08};
+  for (std::size_t i = 0; i < sizeof(expected); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i]) << i;
+  }
+  EXPECT_EQ(w.bytes_written(), 15u);
+}
+
+TEST(SerializePrimitives, RoundtripAllTypes) {
+  std::ostringstream out;
+  serialize::Writer w(out);
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0x80000001u);
+  w.u64(~0ULL);
+  w.i64(-123456789012345LL);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("collector.example");
+  w.str("");
+
+  std::istringstream in(out.str());
+  serialize::Reader r(in);
+  EXPECT_EQ(r.u8(), 7u);
+  EXPECT_EQ(r.u16(), 65535u);
+  EXPECT_EQ(r.u32(), 0x80000001u);
+  EXPECT_EQ(r.u64(), ~0ULL);
+  EXPECT_EQ(r.i64(), -123456789012345LL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "collector.example");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes_read(), w.bytes_written());
+}
+
+TEST(SerializePrimitives, TruncatedReadThrows) {
+  std::istringstream in(std::string("\x01\x02", 2));
+  serialize::Reader r(in);
+  EXPECT_THROW((void)r.u32(), DecodeError);
+}
+
+TEST(SerializePrimitives, OversizedStringLengthThrows) {
+  std::ostringstream out;
+  serialize::Writer w(out);
+  w.u32(0x7FFFFFFF);  // a corrupt length prefix, not followed by data
+  std::istringstream in(out.str());
+  serialize::Reader r(in);
+  EXPECT_THROW((void)r.str(), DecodeError);
+}
+
+TEST(SerializeHeader, BadMagicAndVersionThrow) {
+  {
+    std::istringstream in("NOPE....");
+    serialize::Reader r(in);
+    EXPECT_THROW((void)serialize::read_block_header(r), DecodeError);
+  }
+  {
+    std::ostringstream out;
+    serialize::Writer w(out);
+    w.u32(serialize::kMagic);
+    w.u16(serialize::kFormatVersion + 1);  // a future format
+    w.u8(1);
+    std::istringstream in(out.str());
+    serialize::Reader r(in);
+    EXPECT_THROW((void)serialize::read_block_header(r), DecodeError);
+  }
+  {
+    std::ostringstream out;
+    serialize::Writer w(out);
+    w.u32(serialize::kMagic);
+    w.u16(serialize::kFormatVersion);
+    w.u8(99);  // unknown block kind
+    std::istringstream in(out.str());
+    serialize::Reader r(in);
+    EXPECT_THROW((void)serialize::read_block_header(r), DecodeError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full-driver fixtures.
+
+/// All nine shipped passes, so every State codec is exercised.
+struct Handles {
+  PassHandle<ClassifierPass> types;
+  PassHandle<PerSessionTypesPass> per_session;
+  PassHandle<TomographyPass> tomography;
+  PassHandle<CommunityStatsPass> communities;
+  PassHandle<DuplicateBurstPass> duplicates;
+  PassHandle<AnomalyPass> anomaly;
+  PassHandle<RevealedPass> revealed;
+  PassHandle<ExplorationPass> exploration;
+  PassHandle<UsageClassificationPass> usage;
+};
+
+Handles add_all_passes(AnalysisDriver& driver) {
+  return Handles{driver.add(ClassifierPass{}),
+                 driver.add(PerSessionTypesPass{}),
+                 driver.add(TomographyPass{}),
+                 driver.add(CommunityStatsPass{}),
+                 driver.add(DuplicateBurstPass{}),
+                 driver.add(AnomalyPass{}),
+                 driver.add(RevealedPass{}),
+                 driver.add(ExplorationPass{}),
+                 driver.add(UsageClassificationPass{})};
+}
+
+struct AllReports {
+  ClassifierPass::Report types;
+  PerSessionTypesPass::Report per_session;
+  TomographyPass::Report tomography;
+  CommunityStatsPass::Report communities;
+  DuplicateBurstPass::Report duplicates;
+  AnomalyPass::Report anomaly;
+  RevealedPass::Report revealed;
+  ExplorationPass::Report exploration;
+  UsageClassificationPass::Report usage;
+
+  friend bool operator==(const AllReports&, const AllReports&) = default;
+};
+
+AllReports collect(AnalysisDriver& driver, const Handles& handles) {
+  return AllReports{driver.report(handles.types),
+                    driver.report(handles.per_session),
+                    driver.report(handles.tomography),
+                    driver.report(handles.communities),
+                    driver.report(handles.duplicates),
+                    driver.report(handles.anomaly),
+                    driver.report(handles.revealed),
+                    driver.report(handles.exploration),
+                    driver.report(handles.usage)};
+}
+
+/// Ingests `archives` (collector → archive bytes) inline through one
+/// driver; returns the driver finalized via collect() when `reports` is
+/// non-null, or serialized via save_state into `state` otherwise.
+void run_archives(const std::vector<std::pair<std::string, std::string>>&
+                      archives,
+                  const CleaningOptions& cleaning, AllReports* reports,
+                  std::string* state) {
+  IngestOptions options;
+  options.chunk_records = 32;
+  options.cleaning = &cleaning;
+
+  AnalysisDriver driver;
+  Handles handles = add_all_passes(driver);
+  driver.attach(options);
+  StreamingIngestor engine(options);
+  std::vector<std::unique_ptr<std::istringstream>> inputs;
+  for (const auto& [collector, bytes] : archives) {
+    inputs.push_back(std::make_unique<std::istringstream>(bytes));
+    engine.add_stream(collector, *inputs.back());
+  }
+  IngestResult result = engine.finish();
+  ASSERT_GT(result.stats.records, 0u);
+  if (reports != nullptr) *reports = collect(driver, handles);
+  if (state != nullptr) {
+    std::ostringstream out;
+    driver.save_state(out);
+    *state = out.str();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Roundtrip: save_state → load_state preserves every report.
+
+TEST(SerializeRoundtrip, AllPassesSurviveSaveAndLoad) {
+  ArchiveGenerator gen(20260807);
+  std::string archive = gen.generate(900);
+  Registry registry = allocated_registry();
+  CleaningOptions cleaning;
+  cleaning.registry = &registry;
+
+  AllReports expected;
+  std::string state;
+  run_archives({{"rrc00", archive}}, cleaning, &expected, &state);
+  ASSERT_FALSE(state.empty());
+  ASSERT_GT(expected.types.counts.total(), 0u);
+  ASSERT_GT(expected.communities.unique_communities, 0u);
+  ASSERT_FALSE(expected.per_session.empty());
+
+  AnalysisDriver loaded;
+  Handles handles = add_all_passes(loaded);
+  std::istringstream in(state);
+  loaded.load_state(in);
+  EXPECT_EQ(collect(loaded, handles), expected);
+}
+
+TEST(SerializeRoundtrip, SaveIsDeterministic) {
+  ArchiveGenerator gen(20260807);
+  std::string archive = gen.generate(400);
+  Registry registry = allocated_registry();
+  CleaningOptions cleaning;
+  cleaning.registry = &registry;
+
+  std::string first;
+  std::string second;
+  run_archives({{"rrc00", archive}}, cleaning, nullptr, &first);
+  run_archives({{"rrc00", archive}}, cleaning, nullptr, &second);
+  // unordered containers are serialized sorted, so two identical runs
+  // produce identical bytes — the property bgpcc-merge's byte-compare
+  // tests (and any content-addressed artifact store) rely on.
+  EXPECT_EQ(first, second);
+}
+
+TEST(SerializeRoundtrip, StateTagsAreReadable) {
+  ArchiveGenerator gen(1);
+  std::string archive = gen.generate(100);
+  Registry registry = allocated_registry();
+  CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  std::string state;
+  run_archives({{"rrc00", archive}}, cleaning, nullptr, &state);
+
+  std::istringstream in(state);
+  std::vector<serialize::PassTag> tags = serialize::read_state_tags(in);
+  ASSERT_EQ(tags.size(), 9u);
+  EXPECT_EQ(tags.front(), serialize::PassTag::kClassifier);
+  EXPECT_EQ(tags.back(), serialize::PassTag::kUsageClassification);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: per-collector partial runs merge to the monolithic run.
+
+TEST(SerializeDifferential, PerCollectorPartialsEqualMonolithicRun) {
+  // Distinct collectors → disjoint sessions, the precondition for
+  // combining independently ingested partials.
+  ArchiveGenerator gen_a(101);
+  ArchiveGenerator gen_b(202);
+  ArchiveGenerator gen_c(303);
+  std::string archive_a = gen_a.generate(600);
+  std::string archive_b = gen_b.generate(500);
+  std::string archive_c = gen_c.generate(400);
+  Registry registry = allocated_registry();
+  CleaningOptions cleaning;
+  cleaning.registry = &registry;
+
+  AllReports monolithic;
+  run_archives({{"rrc00", archive_a}, {"rrc01", archive_b},
+                {"rrc03", archive_c}},
+               cleaning, &monolithic, nullptr);
+  ASSERT_GT(monolithic.types.counts.total(), 0u);
+  ASSERT_FALSE(monolithic.tomography.empty());
+  ASSERT_GT(monolithic.duplicates.nn, 0u);
+  ASSERT_GT(monolithic.revealed.total_unique, 0u);
+  ASSERT_FALSE(monolithic.usage.empty());
+
+  std::string state_a;
+  std::string state_b;
+  std::string state_c;
+  run_archives({{"rrc00", archive_a}}, cleaning, nullptr, &state_a);
+  run_archives({{"rrc01", archive_b}}, cleaning, nullptr, &state_b);
+  run_archives({{"rrc03", archive_c}}, cleaning, nullptr, &state_c);
+
+  // Fan-in order must not matter (associativity + commutativity of the
+  // evidence merges over disjoint sessions).
+  for (const auto& order :
+       std::vector<std::vector<const std::string*>>{
+           {&state_a, &state_b, &state_c},
+           {&state_c, &state_a, &state_b}}) {
+    AnalysisDriver merged;
+    Handles handles = add_all_passes(merged);
+    for (const std::string* state : order) {
+      std::istringstream in(*state);
+      merged.load_state(in);
+    }
+    EXPECT_EQ(collect(merged, handles), monolithic);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness.
+
+std::string small_state() {
+  ArchiveGenerator gen(7);
+  std::string archive = gen.generate(120);
+  static Registry registry = allocated_registry();
+  CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  std::string state;
+  run_archives({{"rrc00", archive}}, cleaning, nullptr, &state);
+  return state;
+}
+
+TEST(SerializeRobustness, TruncationAtEveryPrefixThrows) {
+  std::string state = small_state();
+  ASSERT_GT(state.size(), 16u);
+  // Every strict prefix must fail loudly. Step through short prefixes
+  // byte by byte (header + tag list) and sample the long tail.
+  for (std::size_t cut = 0; cut < state.size();
+       cut += (cut < 64 ? 1 : 97)) {
+    AnalysisDriver driver;
+    (void)add_all_passes(driver);
+    std::istringstream in(state.substr(0, cut));
+    EXPECT_THROW(driver.load_state(in), DecodeError) << "cut=" << cut;
+  }
+}
+
+TEST(SerializeRobustness, BitFlipInHeaderThrows) {
+  std::string state = small_state();
+  for (std::size_t byte : {0u, 1u, 4u, 5u}) {  // magic, version
+    std::string corrupt = state;
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ 0x40);
+    AnalysisDriver driver;
+    (void)add_all_passes(driver);
+    std::istringstream in(corrupt);
+    EXPECT_THROW(driver.load_state(in), DecodeError) << "byte=" << byte;
+  }
+}
+
+TEST(SerializeRobustness, CrossDriverTagMismatchThrows) {
+  std::string state = small_state();  // nine passes, tags 1..9
+
+  {
+    // Fewer passes than the file holds.
+    AnalysisDriver driver;
+    (void)driver.add(ClassifierPass{});
+    std::istringstream in(state);
+    EXPECT_THROW(driver.load_state(in), ConfigError);
+  }
+  {
+    // Same count, different order → tag mismatch at slot 0.
+    AnalysisDriver driver;
+    (void)driver.add(UsageClassificationPass{});
+    (void)driver.add(PerSessionTypesPass{});
+    (void)driver.add(TomographyPass{});
+    (void)driver.add(CommunityStatsPass{});
+    (void)driver.add(DuplicateBurstPass{});
+    (void)driver.add(AnomalyPass{});
+    (void)driver.add(RevealedPass{});
+    (void)driver.add(ExplorationPass{});
+    (void)driver.add(ClassifierPass{});
+    std::istringstream in(state);
+    EXPECT_THROW(driver.load_state(in), ConfigError);
+  }
+}
+
+TEST(SerializeRobustness, MismatchedHistogramBucketsThrow) {
+  ArchiveGenerator gen(11);
+  std::string archive = gen.generate(150);
+  Registry registry = allocated_registry();
+  CleaningOptions cleaning;
+  cleaning.registry = &registry;
+
+  IngestOptions options;
+  options.cleaning = &cleaning;
+  AnalysisDriver writer_driver;
+  auto handle = writer_driver.add(CommunityStatsPass{/*histogram_buckets=*/8});
+  writer_driver.attach(options);
+  StreamingIngestor engine(options);
+  std::istringstream in(archive);
+  engine.add_stream("rrc00", in);
+  (void)engine.finish();
+  (void)handle;
+  std::ostringstream out;
+  writer_driver.save_state(out);
+
+  AnalysisDriver reader_driver;
+  (void)reader_driver.add(CommunityStatsPass{/*histogram_buckets=*/17});
+  std::istringstream state_in(out.str());
+  // Same wire tag, different configuration: merging the histograms would
+  // index out of bounds, so load refuses.
+  EXPECT_THROW(reader_driver.load_state(state_in), ConfigError);
+}
+
+TEST(SerializeRobustness, BareIngestCursorIsRejected) {
+  core::IngestCheckpoint cursor;
+  cursor.chunk_records = 4096;
+  cursor.carry.resize(core::kIngestShards);
+  std::ostringstream out;
+  serialize::Writer w(out);
+  serialize::write_ingest_checkpoint(w, cursor);
+
+  AnalysisDriver driver;
+  (void)add_all_passes(driver);
+  std::istringstream in(out.str());
+  EXPECT_THROW(driver.load_state(in), DecodeError);
+
+  std::istringstream tags_in(out.str());
+  EXPECT_THROW((void)serialize::read_state_tags(tags_in), DecodeError);
+}
+
+TEST(SerializeRobustness, IngestCheckpointRoundtrips) {
+  core::IngestCheckpoint cursor;
+  cursor.chunk_records = 1024;
+  cursor.collectors = {"rrc00", "route-views2"};
+  cursor.next_source = 2;
+  cursor.input_open = true;
+  cursor.current_file = 1;
+  cursor.chunk_index = 42;
+  cursor.carry.resize(core::kIngestShards);
+  core::SessionKey session{"rrc00", Asn(65001), IpAddress::v4(10, 0, 0, 1)};
+  cursor.carry[session.hash() % core::kIngestShards][session] = {1600000000,
+                                                                 3};
+  cursor.cleaning.dropped_unallocated_asn = 7;
+  cursor.stats.raw_records = 99;
+
+  std::ostringstream out;
+  serialize::Writer w(out);
+  serialize::write_ingest_checkpoint(w, cursor);
+  std::istringstream in(out.str());
+  serialize::Reader r(in);
+  core::IngestCheckpoint back = serialize::read_ingest_checkpoint(r);
+
+  EXPECT_EQ(back.chunk_records, cursor.chunk_records);
+  EXPECT_EQ(back.collectors, cursor.collectors);
+  EXPECT_EQ(back.next_source, cursor.next_source);
+  EXPECT_EQ(back.input_open, cursor.input_open);
+  EXPECT_EQ(back.current_file, cursor.current_file);
+  EXPECT_EQ(back.chunk_index, cursor.chunk_index);
+  ASSERT_EQ(back.carry.size(), cursor.carry.size());
+  const auto& shard = back.carry[session.hash() % core::kIngestShards];
+  ASSERT_EQ(shard.size(), 1u);
+  EXPECT_EQ(shard.at(session), (std::pair<std::int64_t, int>{1600000000, 3}));
+  EXPECT_EQ(back.cleaning.dropped_unallocated_asn, 7u);
+  EXPECT_EQ(back.stats.raw_records, 99u);
+}
+
+/// A pass that deliberately does NOT model SerializablePass.
+struct OpaquePass {
+  struct State {
+    std::uint64_t seen = 0;
+    void observe(const core::UpdateRecord&) { ++seen; }
+    void merge(State&& other) { seen += other.seen; }
+    [[nodiscard]] std::uint64_t report() const { return seen; }
+  };
+  [[nodiscard]] State make_state() const { return {}; }
+};
+static_assert(Pass<OpaquePass>);
+static_assert(!SerializablePass<OpaquePass>);
+static_assert(SerializablePass<ClassifierPass>);
+static_assert(SerializablePass<UsageClassificationPass>);
+
+TEST(SerializeRobustness, NonSerializablePassThrowsConfigError) {
+  AnalysisDriver driver;
+  (void)driver.add(OpaquePass{});
+  std::ostringstream out;
+  EXPECT_THROW(driver.save_state(out), ConfigError);
+
+  AnalysisDriver checkpointer;
+  (void)checkpointer.add(OpaquePass{});
+  std::ostringstream cp;
+  EXPECT_THROW(checkpointer.checkpoint(cp), ConfigError);
+}
+
+}  // namespace
+}  // namespace bgpcc::analytics
