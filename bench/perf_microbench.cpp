@@ -266,6 +266,62 @@ BENCHMARK(BM_IngestMrtSourcesWindowed)
     ->Args({4, 4096})
     ->UseRealTime();
 
+// The small-window regime where per-window fixed cost dominates: tiny
+// window budgets mean hundreds of windows per run, so this prices what
+// the persistent worker pool + window pipelining removed — a full
+// spawn/join of every worker thread per window. arg2 toggles
+// pipelining: off ≈ the legacy strictly-sequential window schedule, on
+// overlaps window N+1's frame/decode with window N's clean+merge.
+void BM_IngestSmallWindows(benchmark::State& state) {
+  constexpr int kFiles = 4;
+  static const std::vector<std::string> archives = [] {
+    std::vector<std::string> out;
+    out.reserve(kFiles);
+    for (int f = 0; f < kFiles; ++f) {
+      out.push_back(synthetic_ingest_archive(16, 128));
+    }
+    return out;
+  }();
+  core::Registry registry = ingest_bench_registry();
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  core::IngestOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(0));
+  options.chunk_records = 64;
+  options.cleaning = &cleaning;
+  options.window_records = static_cast<std::size_t>(state.range(1));
+  options.pipeline_windows = state.range(2) != 0;
+  std::size_t records = 0;
+  std::size_t windows = 0;
+  for (auto _ : state) {
+    std::vector<std::istringstream> streams;
+    streams.reserve(archives.size());
+    for (const std::string& archive : archives) {
+      streams.emplace_back(archive);
+    }
+    core::StreamingIngestor engine(options);
+    for (std::size_t f = 0; f < streams.size(); ++f) {
+      engine.add_stream("bench" + std::to_string(f), streams[f]);
+    }
+    core::IngestResult result = engine.finish();
+    records = result.stream.size();
+    windows = result.stats.windows;
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+  state.counters["window"] = static_cast<double>(options.window_records);
+  state.counters["pipelined"] = options.pipeline_windows ? 1.0 : 0.0;
+  state.counters["windows"] = static_cast<double>(windows);
+}
+BENCHMARK(BM_IngestSmallWindows)
+    ->Args({4, 64, 0})
+    ->Args({4, 64, 1})
+    ->Args({4, 1024, 0})
+    ->Args({4, 1024, 1})
+    ->UseRealTime();
+
 // The compressed-input path: the same archive gzip-compressed once,
 // inflated transparently on every iteration — decompression cost rides
 // the framer stage, so this measures the real RouteViews/.gz workload.

@@ -28,7 +28,7 @@ void AnalysisDriver::ensure_states() {
         "already merged");
   }
   if (!states_.empty()) return;
-  states_.resize(core::kIngestShards);
+  states_.resize(shard_slots_);
   for (auto& shard : states_) {
     shard.reserve(passes_.size());
     for (const auto& pass : passes_) {
@@ -38,6 +38,18 @@ void AnalysisDriver::ensure_states() {
 }
 
 void AnalysisDriver::attach(core::IngestOptions& options) {
+  // The per-shard state matrix must match the engine's shard layout, or
+  // observe_shard would index out of range (or worse, silently fold two
+  // engine shards into one slot and break session-order fidelity).
+  const std::size_t resolved = core::resolve_shard_count(options);
+  if (!states_.empty() && states_.size() != resolved) {
+    throw ConfigError(
+        "AnalysisDriver: attach() resolves to " + std::to_string(resolved) +
+        " shards but this driver already holds " +
+        std::to_string(states_.size()) +
+        " shard states — use matching IngestOptions across runs");
+  }
+  shard_slots_ = resolved;
   ensure_states();
   options.shard_observer = [this](std::size_t shard,
                                   const std::vector<core::SeqRecord>&
@@ -276,8 +288,10 @@ void AnalysisDriver::restore_impl(std::istream& in,
         "AnalysisDriver: checkpoint carries no ingest cursor (it was "
         "taken without an ingestor) — restore(istream&) the states alone");
   }
+  std::size_t cursor_shards = 0;
   if (has_cursor) {
     core::IngestCheckpoint cursor = serialize::read_ingest_checkpoint(r);
+    cursor_shards = cursor.shards != 0 ? cursor.shards : cursor.carry.size();
     if (ingestor != nullptr) {
       ingestor->restore_checkpoint(cursor);
     }
@@ -285,13 +299,24 @@ void AnalysisDriver::restore_impl(std::istream& in,
     // alone still restore (merge/report of what was observed so far).
   }
   std::uint16_t shard_count = r.u16();
-  if (shard_count != core::kIngestShards) {
+  if (shard_count == 0 || shard_count > core::kMaxIngestShards) {
     throw ConfigError(
         "AnalysisDriver: checkpoint has " + std::to_string(shard_count) +
-        " shard slots, this build runs " +
-        std::to_string(core::kIngestShards) +
-        " — restore with a matching build");
+        " shard slots — out of range, the file is corrupt or foreign");
   }
+  if (cursor_shards != 0 && cursor_shards != shard_count) {
+    throw ConfigError(
+        "AnalysisDriver: checkpoint cursor resolved " +
+        std::to_string(cursor_shards) + " shards but carries " +
+        std::to_string(shard_count) +
+        " state slots — the file is corrupt");
+  }
+  // Adopt the checkpoint's shard layout wholesale: restore() replaces
+  // every state's evidence anyway, so re-minting at the saved size keeps
+  // resume byte-identical even across hosts whose num_threads = 0
+  // resolved to different shard counts.
+  if (!states_.empty() && states_.size() != shard_count) states_.clear();
+  shard_slots_ = shard_count;
   ensure_states();
   for (auto& shard : states_) {
     for (auto& state : shard) read_state_blob(r, *state);

@@ -68,9 +68,12 @@ class AnalysisDriver {
   [[nodiscard]] std::size_t size() const { return passes_.size(); }
 
   /// Inline mode: installs this driver's per-shard observer into
-  /// `options` (see core::IngestOptions::shard_observer). The driver must
-  /// outlive every ingestion run using `options`. May be combined with
-  /// further ingestion runs — states accumulate until report().
+  /// `options` (see core::IngestOptions::shard_observer) and sizes the
+  /// shard states to `options`' resolved shard count
+  /// (core::resolve_shard_count). The driver must outlive every
+  /// ingestion run using `options`. May be combined with further
+  /// ingestion runs — states accumulate until report() — but every run
+  /// must resolve to the same shard count (ConfigError otherwise).
   void attach(core::IngestOptions& options);
 
   /// Sink mode: a callback for StreamingIngestor::finish(sink) observing
@@ -162,6 +165,11 @@ class AnalysisDriver {
   void restore_impl(std::istream& in, core::StreamingIngestor* ingestor);
 
   std::vector<std::unique_ptr<detail::AnyPass>> passes_;
+  /// How many shard slots ensure_states() mints: attach() pins it to the
+  /// ingestion run's resolved shard count, restore_impl() to the
+  /// checkpoint's. Defaults to core::kIngestShards for the sink/observe
+  /// modes, which only ever touch slot 0.
+  std::size_t shard_slots_ = core::kIngestShards;
   /// states_[shard][pass]; shard slot 0 doubles as the sink/observe slot
   /// (any partition of the observations merges to the same final state —
   /// the Pass contract).

@@ -689,6 +689,11 @@ void write_ingest_checkpoint(Writer& w, const core::IngestCheckpoint& state) {
   w.boolean(state.input_open);
   w.u32(state.current_file);
   w.u32(state.chunk_index);
+  // v2: the run's resolved shard count travels explicitly (it shapes the
+  // carry below AND the restorer's engine — num_threads=0 resolution is
+  // machine-dependent, so it must not be re-derived on the other side).
+  // Derive from the carry for caller-built structs that left shards 0.
+  w.u64(state.shards != 0 ? state.shards : state.carry.size());
   w.u64(state.carry.size());
   for (const core::cleaning::SecondCarry& shard : state.carry) {
     // unordered_map: serialize sorted by session so identical carry state
@@ -732,9 +737,15 @@ core::IngestCheckpoint read_ingest_checkpoint(Reader& r) {
   out.input_open = r.boolean();
   out.current_file = r.u32();
   out.chunk_index = r.u32();
-  std::uint64_t shard_count = r.u64();
-  if (shard_count > 4096) {
+  std::uint64_t resolved_shards = r.u64();
+  if (resolved_shards == 0 || resolved_shards > core::kMaxIngestShards) {
     throw DecodeError("corrupt ingest cursor: implausible shard count");
+  }
+  out.shards = static_cast<std::size_t>(resolved_shards);
+  std::uint64_t shard_count = r.u64();
+  if (shard_count != resolved_shards) {
+    throw DecodeError(
+        "corrupt ingest cursor: carry size disagrees with the shard count");
   }
   out.carry.resize(static_cast<std::size_t>(shard_count));
   for (core::cleaning::SecondCarry& shard : out.carry) {

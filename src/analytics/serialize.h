@@ -37,7 +37,12 @@ inline constexpr std::uint32_t kMagic = 0x42475043;
 /// Wire format version. Bump on ANY layout change (see the "bumping the
 /// version" checklist in docs/FORMATS.md); readers reject other versions
 /// with DecodeError instead of misparsing.
-inline constexpr std::uint16_t kFormatVersion = 1;
+///
+/// v2: kIngestCursor gained an explicit resolved-shard-count field (the
+/// carry's shape used to be implicitly machine-dependent under
+/// num_threads = 0). v1 blocks are rejected — checkpoints are transient
+/// crash/resume state, not long-lived archives.
+inline constexpr std::uint16_t kFormatVersion = 2;
 
 /// What a serialized block contains (the byte after magic + version).
 enum class BlockKind : std::uint8_t {

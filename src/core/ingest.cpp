@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <exception>
 #include <filesystem>
 #include <fstream>
@@ -22,6 +21,7 @@
 
 #include "bgp/codec.h"
 #include "core/cleaning.h"
+#include "core/worker_pool.h"
 #include "mrt/mrt.h"
 #include "mrt/source.h"
 #include "netbase/bytes.h"
@@ -29,14 +29,6 @@
 
 namespace bgpcc::core {
 namespace {
-
-// Shard count is fixed (not thread-derived) so the shard assignment — and
-// with it every per-shard cleaning decision — is identical no matter how
-// many workers run. Sessions are hash-distributed; 16 shards keep all
-// realistic thread counts busy without fragmenting tiny inputs. The
-// value is exported (ingest.h) so inline analytics can size its state
-// sets to match.
-constexpr std::size_t kShards = kIngestShards;
 
 // Arrival sequence packing: (file 16 bits | chunk 24 bits | record 24
 // bits). Lexicographic order of the packed value equals the logical
@@ -75,60 +67,18 @@ std::size_t resolve_queue_capacity(const IngestOptions& options,
                                    : std::max<std::size_t>(4, 2 * threads);
 }
 
-// Runs body(0..jobs-1) on `threads` workers pulling from an atomic
-// counter. Inline when a pool cannot help. The first exception thrown by
-// any worker is rethrown on the caller after all workers join.
-void run_parallel(unsigned threads, std::size_t jobs,
+// Runs body(0..jobs-1) on the persistent pool (workers and caller pull
+// job indices from a shared counter; the first exception is rethrown on
+// the caller, and unclaimed jobs are never started once one throws).
+// Inline when there is no pool or only one job.
+void run_parallel(WorkerPool* pool, std::size_t jobs,
                   const std::function<void(std::size_t)>& body) {
-  if (threads <= 1 || jobs <= 1) {
+  if (pool == nullptr || jobs <= 1) {
     for (std::size_t i = 0; i < jobs; ++i) body(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  auto worker = [&] {
-    for (;;) {
-      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  std::size_t pool_size = std::min<std::size_t>(threads, jobs);
-  pool.reserve(pool_size);
-  for (std::size_t t = 0; t < pool_size; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-  if (error) std::rethrow_exception(error);
+  pool->parallel_for(jobs, body);
 }
-
-// First-error capture shared by the framer and decode threads of one
-// pipelined run. `failed()` is a cheap pre-check so framers stop reading
-// once any stage has died.
-class ErrorCollector {
- public:
-  void capture() noexcept {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!error_) error_ = std::current_exception();
-    failed_.store(true, std::memory_order_release);
-  }
-  [[nodiscard]] bool failed() const {
-    return failed_.load(std::memory_order_acquire);
-  }
-  void rethrow() {
-    if (error_) std::rethrow_exception(error_);
-  }
-
- private:
-  std::mutex mutex_;
-  std::exception_ptr error_;
-  std::atomic<bool> failed_{false};
-};
 
 /// One framed batch in flight between the framer stage and the decode
 /// pool, tagged with its deterministic arrival coordinate.
@@ -138,85 +88,31 @@ struct FramedChunk {
   std::vector<mrt::Record> records;
 };
 
-// The bounded frame→decode queue. Push blocks while full (bounding raw
-// bytes in flight), pop blocks while empty and producers remain. abort()
-// is the error path: it drops queued work and unblocks every producer
-// (push returns false) and consumer (pop returns nullopt), so a throwing
-// framer can never strand decode workers in pop() and a throwing worker
-// can never strand a framer blocked in push() — the deadlock the
-// robustness tests drive for.
-class BoundedChunkQueue {
- public:
-  BoundedChunkQueue(std::size_t capacity, std::size_t producers)
-      : capacity_(capacity == 0 ? 1 : capacity), producers_(producers) {}
-
-  [[nodiscard]] bool push(FramedChunk&& chunk) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return aborted_ || queue_.size() < capacity_; });
-    if (aborted_) return false;
-    queue_.push_back(std::move(chunk));
-    not_empty_.notify_one();
-    return true;
-  }
-
-  [[nodiscard]] std::optional<FramedChunk> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(
-        lock, [&] { return aborted_ || !queue_.empty() || producers_ == 0; });
-    if (aborted_ || queue_.empty()) return std::nullopt;
-    FramedChunk chunk = std::move(queue_.front());
-    queue_.pop_front();
-    not_full_.notify_one();
-    return chunk;
-  }
-
-  /// Each framer calls this exactly once, error or not; the last one out
-  /// releases any consumers still waiting for work.
-  void producer_done() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (producers_ > 0 && --producers_ == 0) not_empty_.notify_all();
-  }
-
-  void abort() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    aborted_ = true;
-    queue_.clear();
-    not_full_.notify_all();
-    not_empty_.notify_all();
-  }
-
- private:
-  std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<FramedChunk> queue_;
-  std::size_t capacity_;
-  std::size_t producers_;
-  bool aborted_ = false;
-};
-
 /// One decoded batch: records bucketed by SessionKey-hash shard, plus the
 /// batch's share of the deterministic counters and its arrival coordinate
 /// (the pipelined pool finishes chunks in any order; the gather stage
 /// re-establishes (file, chunk) order before touching shard state).
 struct DecodedChunk {
+  DecodedChunk() = default;
+  explicit DecodedChunk(std::size_t shard_count) : shards(shard_count) {}
+
   std::uint32_t file = 0;
   std::uint32_t chunk = 0;
-  std::vector<std::vector<SeqRecord>> shards{kShards};
+  std::vector<std::vector<SeqRecord>> shards;
   std::size_t update_messages = 0;
   std::size_t records = 0;
 };
 
 void bucket_records(std::vector<UpdateRecord>& scratch, std::uint64_t base,
                     std::uint64_t& local, DecodedChunk& out) {
+  const std::size_t shard_count = out.shards.size();
   for (UpdateRecord& record : scratch) {
     if (local >= kMaxRecordsPerChunk) {
       throw DecodeError(
           "arrival-sequence overflow: one chunk explodes past 2^24 records "
           "(lower IngestOptions::chunk_records)");
     }
-    std::size_t shard = record.session.hash() % kShards;
+    std::size_t shard = record.session.hash() % shard_count;
     out.shards[shard].push_back(SeqRecord{base + local++, std::move(record)});
     ++out.records;
   }
@@ -232,8 +128,9 @@ bool is_bgp4mp_message(const mrt::Record& record) {
 }
 
 DecodedChunk decode_mrt_chunk(const std::string& collector,
-                              FramedChunk&& framed) {
-  DecodedChunk out;
+                              FramedChunk&& framed,
+                              std::size_t shard_count) {
+  DecodedChunk out(shard_count);
   out.file = framed.file;
   out.chunk = framed.chunk;
   std::uint64_t base = seq_base(framed.file, framed.chunk);
@@ -337,7 +234,7 @@ constexpr std::size_t kMinRecordsPerMergePartition = 1024;
 // output slice.
 template <typename Out>
 void parallel_merge(std::vector<std::vector<SeqRecord>>& shards, bool by_time,
-                    unsigned threads, std::vector<Out>& out) {
+                    WorkerPool* pool, unsigned threads, std::vector<Out>& out) {
   bool (*cmp)(const SeqRecord&, const SeqRecord&) =
       by_time ? &seq_time_order : &seq_only_order;
 
@@ -384,7 +281,7 @@ void parallel_merge(std::vector<std::vector<SeqRecord>>& shards, bool by_time,
     offsets[p + 1] = offsets[p] + size;
   }
 
-  run_parallel(threads, partitions, [&](std::size_t p) {
+  run_parallel(pool, partitions, [&](std::size_t p) {
     merge_partition(shards, cuts[p], cuts[p + 1], cmp, out.data() + offsets[p]);
   });
 }
@@ -398,13 +295,14 @@ void parallel_merge(std::vector<std::vector<SeqRecord>>& shards, bool by_time,
 // order — the precondition of parallel_merge and the order the inline
 // shard observer sees (each shard's exact subsequence of the output).
 void gather_and_clean(std::vector<DecodedChunk>& decoded,
-                      const IngestOptions& options, unsigned threads,
+                      const IngestOptions& options, WorkerPool* pool,
+                      std::size_t shard_count,
                       std::vector<cleaning::SecondCarry>* carry,
                       std::vector<std::vector<SeqRecord>>& shards,
                       CleaningReport& report) {
-  shards.assign(kShards, {});
-  std::vector<CleaningReport> reports(kShards);
-  run_parallel(threads, kShards, [&](std::size_t s) {
+  shards.assign(shard_count, {});
+  std::vector<CleaningReport> reports(shard_count);
+  run_parallel(pool, shard_count, [&](std::size_t s) {
     std::size_t total = 0;
     for (const DecodedChunk& chunk : decoded) total += chunk.shards[s].size();
     shards[s].reserve(total);
@@ -438,9 +336,10 @@ void gather_and_clean(std::vector<DecodedChunk>& decoded,
 // Phases 3+4 of the batch path: gather, clean, merge straight into the
 // output stream — the single-window configuration.
 void finish_engine(std::vector<DecodedChunk>& decoded,
-                   const IngestOptions& options, unsigned threads,
+                   const IngestOptions& options, WorkerPool* pool,
+                   unsigned threads, std::size_t shard_count,
                    IngestResult& result) {
-  result.stats.shards = kShards;
+  result.stats.shards = shard_count;
   result.stats.threads = threads;
   result.stats.chunks = decoded.size();
   result.stats.windows = 1;
@@ -450,9 +349,9 @@ void finish_engine(std::vector<DecodedChunk>& decoded,
   }
 
   std::vector<std::vector<SeqRecord>> shards;
-  gather_and_clean(decoded, options, threads, nullptr, shards,
+  gather_and_clean(decoded, options, pool, shard_count, nullptr, shards,
                    result.cleaning);
-  parallel_merge(shards, options.sort_by_time, threads,
+  parallel_merge(shards, options.sort_by_time, pool, threads,
                  result.stream.records());
 }
 
@@ -699,9 +598,19 @@ class RunStore {
             .string();
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) throw DecodeError("cannot create spill run: " + path);
-    for (const SeqRecord& sr : run) write_spill_record(out, sr);
-    out.flush();
-    if (!out) throw DecodeError("spill-run write failed: " + path);
+    try {
+      for (const SeqRecord& sr : run) write_spill_record(out, sr);
+      out.flush();
+      if (!out) throw DecodeError("spill-run write failed: " + path);
+    } catch (...) {
+      // The file exists but is not yet registered in files_, so the
+      // destructor's discard() would never see it — remove the partial
+      // run here or it leaks into spill_dir forever.
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      throw;
+    }
     files_.push_back(std::move(path));
   }
 
@@ -774,12 +683,39 @@ class RunStore {
 
 }  // namespace
 
+std::size_t resolve_shard_count(const IngestOptions& options) {
+  if (options.shards != 0) {
+    if (options.shards > kMaxIngestShards) {
+      throw ConfigError("IngestOptions::shards (" +
+                        std::to_string(options.shards) + ") exceeds the cap (" +
+                        std::to_string(kMaxIngestShards) + ")");
+    }
+    return options.shards;
+  }
+  // Auto: the historical 16, doubled until every resolved worker has a
+  // shard to chew on. Power-of-two growth keeps small hosts exactly at
+  // kIngestShards (so their checkpoints and tests are unchanged) while a
+  // 64-core num_threads=0 run is no longer starved at 16. The resolved
+  // value is recorded in checkpoints and ADOPTED on restore — output
+  // never depends on it, but the carry's shape does.
+  std::size_t shards = kIngestShards;
+  const unsigned threads = resolve_threads(options.num_threads);
+  while (shards < threads && shards < kMaxIngestShards) shards *= 2;
+  return shards;
+}
+
 // ---------------------------------------------------------------------------
 // The streaming windowed engine. One framing cursor walks the sources in
 // add order (a window is by definition a prefix of arrival order);
-// decode, cleaning, and the merge run on the worker pool. Batch mode
-// (window_records == 0, finish() without poll()) takes the multi-framer
-// pipelined path instead — same output, whole input as one window.
+// decode, cleaning, and the merge run on one persistent WorkerPool that
+// lives as long as the engine — reused across windows and across
+// poll()/finish() calls. Windowed multi-threaded runs additionally
+// pipeline: while window N runs shard-clean + merge + inline passes on
+// the pool, window N+1 is framed and decoded on the same pool
+// (IngestOptions::pipeline_windows), with decode tasks in flight bounded
+// by the queue_chunks cap. Batch mode (window_records == 0, finish()
+// without poll()) takes the multi-framer path instead — same output,
+// whole input as one window.
 
 struct StreamingIngestor::Impl {
   struct SourceEntry {
@@ -793,15 +729,34 @@ struct StreamingIngestor::Impl {
       : options(opts),
         threads(resolve_threads(opts.num_threads)),
         chunk_records(resolve_chunk_records(opts)),
-        carry(kShards),
+        shard_count(resolve_shard_count(opts)),
+        carry(shard_count),
         // Batch mode (window 0) holds the whole input in memory anyway,
         // so spilling its single run would only add a full disk
         // write+read — spill_dir is honored exactly when windows bound
         // memory, as the header documents.
-        runs(opts.window_records == 0 ? std::string() : opts.spill_dir) {
+        runs(opts.window_records == 0 ? std::string() : opts.spill_dir),
+        // threads-1 pool workers: the calling thread participates in
+        // every stage (parallel_for and wait() both help), so total
+        // concurrency equals the configured thread count. threads <= 1
+        // runs everything inline with no pool at all.
+        pool(threads > 1 ? std::make_unique<WorkerPool>(threads - 1)
+                         : nullptr) {
     stats.files = 0;
-    stats.shards = kShards;
+    stats.shards = shard_count;
     stats.threads = threads;
+  }
+
+  ~Impl() {
+    // A pipelined prefetch may still be decoding; its tasks capture
+    // `this`, so quiesce them before any member is torn down. Errors are
+    // swallowed: nobody is left to consume this window.
+    if (prefetch != nullptr && pool != nullptr) {
+      try {
+        pool->wait(prefetch->group);
+      } catch (...) {
+      }
+    }
   }
 
   void check_can_add() const {
@@ -859,94 +814,194 @@ struct StreamingIngestor::Impl {
     return framed;
   }
 
-  /// The decode-worker loop shared by the windowed and batch pipelines:
-  /// pop → decode → collect; the first error aborts the queue so no
-  /// stage can strand another. One definition, so a fix to the abort
-  /// path can never diverge between the two modes.
-  void decode_worker_loop(BoundedChunkQueue& queue, ErrorCollector& errors,
-                          std::vector<DecodedChunk>& decoded,
-                          std::mutex& decoded_mutex) {
+  /// One window's frame+decode in flight on the pool: the decoded chunks
+  /// as they finish (any order — sort_decoded restores the arrival
+  /// order), the in-flight decode-task bound, and the end-of-framing
+  /// cursor snapshot (the deterministic resume point for the NEXT
+  /// window; process_window commits it when the window is consumed).
+  struct WindowDecode {
+    WorkerPool::Group group;
+    std::mutex mutex;
+    std::condition_variable slot_free;
+    std::vector<DecodedChunk> decoded;
+    std::size_t in_flight = 0;  // decode tasks submitted, not finished
+    std::size_t framed = 0;
+    std::size_t end_next_source = 0;
+    bool end_input_open = false;
+    std::uint32_t end_current_file = 0;
+    std::uint32_t end_chunk_index = 0;
+  };
+
+  /// Blocks the framer until a decode slot frees up — by executing other
+  /// queued pool tasks while it waits, so even a 1-worker pool can never
+  /// deadlock on its own decode backlog. Returns early once the group
+  /// has failed (the decode task's catch handler releases its slot and
+  /// notifies before rethrowing, so no wakeup is ever missed).
+  void wait_for_decode_slot(WindowDecode& w, std::size_t cap) {
     for (;;) {
-      std::optional<FramedChunk> chunk = queue.pop();
-      if (!chunk) break;
-      try {
-        DecodedChunk out = decode_mrt_chunk(sources[chunk->file].collector,
-                                            std::move(*chunk));
-        std::lock_guard<std::mutex> lock(decoded_mutex);
-        decoded.push_back(std::move(out));
-      } catch (...) {
-        errors.capture();
-        queue.abort();
-        break;
+      {
+        std::unique_lock<std::mutex> lock(w.mutex);
+        if (w.in_flight < cap || w.group.failed()) return;
       }
+      if (pool->help_one()) continue;
+      // Nothing left to steal: every in-flight decode is executing on a
+      // worker right now, and each completion notifies slot_free.
+      std::unique_lock<std::mutex> lock(w.mutex);
+      w.slot_free.wait(lock,
+                       [&] { return w.in_flight < cap || w.group.failed(); });
+      return;
     }
   }
 
-  /// Frames and decodes one window. `framed` reports raw records framed.
-  std::vector<DecodedChunk> decode_window(std::size_t budget,
-                                          std::size_t& framed) {
-    std::vector<DecodedChunk> decoded;
-    if (threads <= 1) {
-      framed = frame_window(budget, [&](FramedChunk&& chunk) {
-        decoded.push_back(decode_mrt_chunk(sources[chunk.file].collector,
-                                           std::move(chunk)));
+  void submit_decode(WindowDecode& w, FramedChunk&& chunk) {
+    {
+      std::lock_guard<std::mutex> lock(w.mutex);
+      ++w.in_flight;
+    }
+    pool->submit(w.group, [this, &w, chunk = std::move(chunk)]() mutable {
+      try {
+        DecodedChunk out = decode_mrt_chunk(sources[chunk.file].collector,
+                                            std::move(chunk), shard_count);
+        std::lock_guard<std::mutex> lock(w.mutex);
+        w.decoded.push_back(std::move(out));
+        --w.in_flight;
+        w.slot_free.notify_all();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(w.mutex);
+          --w.in_flight;
+        }
+        w.slot_free.notify_all();
+        throw;  // the pool records it and fails the group
+      }
+    });
+  }
+
+  /// The framer's per-chunk sink: bounded hand-off of one framed chunk
+  /// to the decode pool. False (stop framing) once the window's group
+  /// has failed — the replacement for the old queue abort.
+  bool decode_sink(WindowDecode& w, std::size_t cap, FramedChunk&& chunk) {
+    if (w.group.failed()) return false;
+    wait_for_decode_slot(w, cap);
+    if (w.group.failed()) return false;
+    submit_decode(w, std::move(chunk));
+    return true;
+  }
+
+  /// Frames one window, fanning chunks out to pool decode tasks, then
+  /// snapshots the framing cursor. Runs on the caller (plain windows) or
+  /// as a pool task (pipelined prefetch); either way it is the only
+  /// thread touching the framing cursor until its group is waited.
+  void frame_and_decode(WindowDecode& w, std::size_t budget) {
+    const std::size_t cap = resolve_queue_capacity(options, threads);
+    w.framed = frame_window(budget, [&](FramedChunk&& chunk) {
+      return decode_sink(w, cap, std::move(chunk));
+    });
+    w.end_next_source = next_source;
+    w.end_input_open = input.has_value();
+    w.end_current_file = current_file;
+    w.end_chunk_index = chunk_index;
+  }
+
+  /// Produces the next fully decoded window: the pipelined prefetch if
+  /// one is in flight (waiting surfaces any error it hit), else frames
+  /// and decodes one now. The returned window is quiescent — no tasks
+  /// reference it.
+  std::unique_ptr<WindowDecode> take_window(std::size_t budget) {
+    if (prefetch != nullptr) {
+      std::unique_ptr<WindowDecode> w = std::move(prefetch);
+      pool->wait(w->group);
+      return w;
+    }
+    auto w = std::make_unique<WindowDecode>();
+    if (pool == nullptr) {
+      w->framed = frame_window(budget, [&](FramedChunk&& chunk) {
+        w->decoded.push_back(decode_mrt_chunk(sources[chunk.file].collector,
+                                              std::move(chunk), shard_count));
         return true;
       });
-      return decoded;
+      w->end_next_source = next_source;
+      w->end_input_open = input.has_value();
+      w->end_current_file = current_file;
+      w->end_chunk_index = chunk_index;
+      return w;
     }
+    try {
+      frame_and_decode(*w, budget);
+    } catch (...) {
+      // Decode tasks still reference *w; fail the group so they are
+      // skipped, then wait() below quiesces them and rethrows the first
+      // error (this one, unless a decode task beat the framer to it).
+      pool->fail(w->group, std::current_exception());
+    }
+    pool->wait(w->group);
+    return w;
+  }
 
-    BoundedChunkQueue queue(resolve_queue_capacity(options, threads),
-                            /*producers=*/1);
-    ErrorCollector errors;
-    std::mutex decoded_mutex;
-    std::size_t framed_count = 0;
-    auto framer = [&] {
-      try {
-        framed_count = frame_window(budget, [&](FramedChunk&& chunk) {
-          return queue.push(std::move(chunk));
-        });
-      } catch (...) {
-        errors.capture();
-        queue.abort();
-      }
-      queue.producer_done();
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(1 + threads);
-    pool.emplace_back(framer);
-    for (unsigned t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        decode_worker_loop(queue, errors, decoded, decoded_mutex);
-      });
+  /// Starts framing+decoding the next window on the pool, overlapping it
+  /// with the current window's clean/merge/passes. The framer runs as
+  /// one pool task and is the sole owner of the framing cursor until the
+  /// group is waited (take_window / drain_prefetch / ~Impl).
+  void start_prefetch(std::size_t budget) {
+    prefetch = std::make_unique<WindowDecode>();
+    WindowDecode& w = *prefetch;
+    pool->submit(w.group,
+                 [this, &w, budget] { frame_and_decode(w, budget); });
+  }
+
+  /// add_stream/add_file would reallocate `sources` under a running
+  /// prefetch's feet; quiesce it first. The decoded window stays cached
+  /// for the next poll — appending sources after the current cursor
+  /// cannot invalidate an already-framed prefix of the arrival order.
+  void drain_prefetch_for_add() {
+    if (prefetch == nullptr || pool == nullptr) return;
+    try {
+      pool->wait(prefetch->group);
+    } catch (...) {
+      failed = true;  // same poisoning a failing poll() would apply
+      throw;
     }
-    for (std::thread& t : pool) t.join();
-    errors.rethrow();
-    framed = framed_count;
-    return decoded;
   }
 
   /// Processes one window end to end; false when the input is exhausted.
   bool process_window() {
-    std::size_t budget = options.window_records == 0
-                             ? std::numeric_limits<std::size_t>::max()
-                             : options.window_records;
-    std::size_t framed = 0;
-    std::vector<DecodedChunk> decoded = decode_window(budget, framed);
-    if (framed == 0) return false;
+    const std::size_t budget = options.window_records == 0
+                                   ? std::numeric_limits<std::size_t>::max()
+                                   : options.window_records;
+    std::unique_ptr<WindowDecode> w = take_window(budget);
+    if (w->framed == 0) return false;
 
-    stats.raw_records += framed;
-    stats.chunks += decoded.size();
-    for (const DecodedChunk& chunk : decoded) {
+    // Commit this window's end-of-framing cursor: checkpoint_state()
+    // reads ONLY these fields, never the live cursor — a pipelined
+    // prefetch advances the live cursor concurrently, and a checkpoint
+    // must resume at the first UNPROCESSED window (the prefetched window
+    // is simply re-framed after a restore).
+    committed_next_source = w->end_next_source;
+    committed_input_open = w->end_input_open;
+    committed_current_file = w->end_current_file;
+    committed_chunk_index = w->end_chunk_index;
+
+    // Pipeline: frame+decode the NEXT window on the pool while this one
+    // cleans and merges. Only when this window filled its whole budget —
+    // a short window means the input is exhausted (and leaves add_*
+    // between polls cheap: no prefetch to quiesce).
+    if (pool != nullptr && options.pipeline_windows && w->framed >= budget) {
+      start_prefetch(budget);
+    }
+
+    stats.raw_records += w->framed;
+    stats.chunks += w->decoded.size();
+    for (const DecodedChunk& chunk : w->decoded) {
       stats.update_messages += chunk.update_messages;
       stats.records += chunk.records;
     }
 
-    sort_decoded(decoded);
+    sort_decoded(w->decoded);
     std::vector<std::vector<SeqRecord>> shards;
-    gather_and_clean(decoded, options, threads, &carry, shards,
-                     cleaning_report);
+    gather_and_clean(w->decoded, options, pool.get(), shard_count, &carry,
+                     shards, cleaning_report);
     std::vector<SeqRecord> run;
-    parallel_merge(shards, options.sort_by_time, threads, run);
+    parallel_merge(shards, options.sort_by_time, pool.get(), threads, run);
     runs.add_run(std::move(run));
     ++stats.windows;
     return true;
@@ -982,7 +1037,7 @@ struct StreamingIngestor::Impl {
       }
     };
 
-    if (threads <= 1 || sources.empty()) {
+    if (pool == nullptr || sources.empty()) {
       // Inline mode: frame and decode alternate on the caller's thread,
       // one ChunkedReader reused (reset) across every file. Nothing is
       // buffered beyond the chunk in flight.
@@ -995,16 +1050,18 @@ struct StreamingIngestor::Impl {
         }
         frame_file(*batch_reader, static_cast<std::uint32_t>(f),
                    [&](FramedChunk&& framed) {
-                     decoded.push_back(decode_mrt_chunk(
-                         sources[framed.file].collector, std::move(framed)));
+                     decoded.push_back(
+                         decode_mrt_chunk(sources[framed.file].collector,
+                                          std::move(framed), shard_count));
                      return true;
                    });
       }
       if (batch_reader) raw_records = batch_reader->records_read();
     } else {
-      // Pipelined mode: framer threads push into the bounded queue, the
-      // decode pool pops concurrently — framing I/O overlaps decode, and
-      // multiple archives are framed in parallel.
+      // Pool mode: framer tasks claim whole files and fan chunks out as
+      // decode tasks on the same group — framing I/O overlaps decode,
+      // multiple archives are framed in parallel, and the caller helps
+      // (wait executes queued tasks) instead of spawning threads.
       std::size_t framers =
           options.frame_threads != 0
               ? std::min<std::size_t>(options.frame_threads, sources.size())
@@ -1012,19 +1069,23 @@ struct StreamingIngestor::Impl {
                     {sources.size(), threads, std::size_t{4}});
       if (framers == 0) framers = 1;
 
-      BoundedChunkQueue queue(resolve_queue_capacity(options, threads),
-                              framers);
-      ErrorCollector errors;
+      WindowDecode w;
+      const std::size_t cap = resolve_queue_capacity(options, threads);
       std::atomic<std::size_t> next_file{0};
       std::atomic<std::size_t> raw_counter{0};
-      std::mutex decoded_mutex;
 
       auto framer = [&] {
         std::optional<mrt::ChunkedReader> file_reader;
+        auto flush_raw = [&] {
+          if (file_reader) {
+            raw_counter.fetch_add(file_reader->records_read(),
+                                  std::memory_order_relaxed);
+          }
+        };
         try {
           for (;;) {
             std::size_t f = next_file.fetch_add(1, std::memory_order_relaxed);
-            if (f >= sources.size() || errors.failed()) break;
+            if (f >= sources.size() || w.group.failed()) break;
             if (!file_reader) {
               file_reader.emplace(inputs[f].stream(), chunk_records);
             } else {
@@ -1032,36 +1093,34 @@ struct StreamingIngestor::Impl {
             }
             frame_file(*file_reader, static_cast<std::uint32_t>(f),
                        [&](FramedChunk&& framed) {
-                         return queue.push(std::move(framed));
+                         return decode_sink(w, cap, std::move(framed));
                        });
           }
         } catch (...) {
-          errors.capture();
-          queue.abort();
+          flush_raw();
+          throw;
         }
-        if (file_reader) {
-          raw_counter.fetch_add(file_reader->records_read(),
-                                std::memory_order_relaxed);
-        }
-        queue.producer_done();
+        flush_raw();
       };
 
-      std::vector<std::thread> pool;
-      pool.reserve(framers + threads);
-      for (std::size_t t = 0; t < framers; ++t) pool.emplace_back(framer);
-      for (unsigned t = 0; t < threads; ++t) {
-        pool.emplace_back([&] {
-          decode_worker_loop(queue, errors, decoded, decoded_mutex);
-        });
+      for (std::size_t t = 0; t + 1 < framers; ++t) {
+        pool->submit(w.group, framer);
       }
-      for (std::thread& t : pool) t.join();
-      errors.rethrow();
+      // The caller runs one framer itself, then waits — executing any
+      // still-queued framer/decode tasks while it does.
+      try {
+        framer();
+      } catch (...) {
+        pool->fail(w.group, std::current_exception());
+      }
+      pool->wait(w.group);
       raw_records = raw_counter.load();
+      decoded = std::move(w.decoded);
     }
 
     result.stats.raw_records = raw_records;
     sort_decoded(decoded);
-    finish_engine(decoded, options, threads, result);
+    finish_engine(decoded, options, pool.get(), threads, shard_count, result);
   }
 
   IngestResult finish(const std::function<void(UpdateRecord&&)>* sink) {
@@ -1107,7 +1166,7 @@ struct StreamingIngestor::Impl {
       }
     }
     result.stats.files = sources.size();
-    result.stats.shards = kShards;
+    result.stats.shards = shard_count;
     result.stats.threads = threads;
     // Keep the accessor truthful after a batch-mode finish too: stats()
     // must report the completed run, not the zeros of a never-polled
@@ -1120,16 +1179,29 @@ struct StreamingIngestor::Impl {
   IngestOptions options;
   unsigned threads;
   std::size_t chunk_records;
+  // Runtime-resolved (restore_checkpoint ADOPTS the checkpoint's count,
+  // which may differ from the local auto-resolution).
+  std::size_t shard_count;
 
   std::vector<SourceEntry> sources;
 
-  // Framing cursor (persists across poll() calls; a window can pause
-  // mid-file).
+  // Live framing cursor (persists across poll() calls; a window can
+  // pause mid-file). With pipelining this is owned by the prefetch
+  // framer between polls — only checkpoint-committed copies below are
+  // safe to read while a prefetch is in flight.
   std::size_t next_source = 0;
   std::optional<mrt::InputStream> input;
   std::optional<mrt::ChunkedReader> reader;
   std::uint32_t current_file = 0;
   std::uint32_t chunk_index = 0;
+
+  // Cursor committed by the last PROCESSED window — what
+  // checkpoint_state() snapshots. Equal to the live cursor whenever no
+  // prefetch is pending.
+  std::size_t committed_next_source = 0;
+  bool committed_input_open = false;
+  std::uint32_t committed_current_file = 0;
+  std::uint32_t committed_chunk_index = 0;
 
   std::vector<cleaning::SecondCarry> carry;  // one per shard
   CleaningReport cleaning_report;
@@ -1138,6 +1210,13 @@ struct StreamingIngestor::Impl {
   bool windowed = false;  // poll() was used → finish via run-merge
   bool finished = false;
   bool failed = false;  // a poll() threw → results would be incomplete
+
+  // The next window, framing/decoding on the pool while the current one
+  // cleans and merges. Null when pipelining is off or the input ran dry.
+  std::unique_ptr<WindowDecode> prefetch;
+  // Declared last: destroyed first, after ~Impl has quiesced the
+  // prefetch group, while every member its tasks referenced still lives.
+  std::unique_ptr<WorkerPool> pool;
 };
 
 StreamingIngestor::StreamingIngestor(const IngestOptions& options)
@@ -1148,6 +1227,7 @@ StreamingIngestor::~StreamingIngestor() = default;
 void StreamingIngestor::add_stream(const std::string& collector,
                                    std::istream& in) {
   impl_->check_can_add();
+  impl_->drain_prefetch_for_add();
   Impl::SourceEntry entry;
   entry.collector = collector;
   entry.borrowed = &in;
@@ -1158,6 +1238,7 @@ void StreamingIngestor::add_stream(const std::string& collector,
 void StreamingIngestor::add_file(const std::string& collector,
                                  const std::string& path) {
   impl_->check_can_add();
+  impl_->drain_prefetch_for_add();
   Impl::SourceEntry entry;
   entry.collector = collector;
   entry.path = path;
@@ -1210,10 +1291,15 @@ IngestCheckpoint StreamingIngestor::checkpoint_state() const {
   for (const Impl::SourceEntry& entry : impl.sources) {
     out.collectors.push_back(entry.collector);
   }
-  out.next_source = impl.next_source;
-  out.input_open = impl.input.has_value();
-  out.current_file = impl.current_file;
-  out.chunk_index = impl.chunk_index;
+  // The committed cursor, NOT the live one: a pipelined prefetch owns
+  // (and advances) the live cursor concurrently, and a resume must
+  // replay from the first window that was never processed — which is
+  // exactly the prefetched window.
+  out.next_source = impl.committed_next_source;
+  out.input_open = impl.committed_input_open;
+  out.current_file = impl.committed_current_file;
+  out.chunk_index = impl.committed_chunk_index;
+  out.shards = impl.shard_count;
   out.carry = impl.carry;
   out.cleaning = impl.cleaning_report;
   out.stats = impl.stats;
@@ -1250,11 +1336,20 @@ void StreamingIngestor::restore_checkpoint(const IngestCheckpoint& state) {
                         impl.sources[i].collector + "' is registered");
     }
   }
-  if (state.carry.size() != kShards) {
+  // Adopt the checkpoint's shard count instead of re-resolving locally:
+  // num_threads=0 auto-resolution is machine-dependent, and a cursor
+  // written on an 8-core host must restore on a 4-core one. A legacy
+  // caller-built checkpoint with shards == 0 is accepted as long as the
+  // carry itself is well-formed.
+  const std::size_t checkpoint_shards =
+      state.shards != 0 ? state.shards : state.carry.size();
+  if (checkpoint_shards == 0 || checkpoint_shards > kMaxIngestShards ||
+      checkpoint_shards != state.carry.size()) {
     throw ConfigError(
-        "StreamingIngestor: checkpoint carries " +
-        std::to_string(state.carry.size()) + " shards, engine uses " +
-        std::to_string(kShards));
+        "StreamingIngestor: checkpoint shard count (" +
+        std::to_string(state.shards) + ") and carry size (" +
+        std::to_string(state.carry.size()) +
+        ") are inconsistent or out of range");
   }
   if (state.next_source > impl.sources.size() ||
       (state.input_open &&
@@ -1265,13 +1360,18 @@ void StreamingIngestor::restore_checkpoint(const IngestCheckpoint& state) {
         "registered sources");
   }
 
+  impl.shard_count = checkpoint_shards;
   impl.carry = state.carry;
   impl.cleaning_report = state.cleaning;
   impl.stats = state.stats;
-  impl.stats.shards = kShards;
+  impl.stats.shards = impl.shard_count;
   impl.stats.threads = impl.threads;
   impl.stats.files = impl.sources.size();
   impl.next_source = static_cast<std::size_t>(state.next_source);
+  impl.committed_next_source = static_cast<std::size_t>(state.next_source);
+  impl.committed_input_open = state.input_open;
+  impl.committed_current_file = state.current_file;
+  impl.committed_chunk_index = state.chunk_index;
   impl.windowed = true;  // resumed runs finish via the run-merge path
 
   if (state.input_open) {
@@ -1356,6 +1456,12 @@ IngestResult ingest_collectors(
   }
   unsigned threads = resolve_threads(options.num_threads);
   std::size_t chunk_records = resolve_chunk_records(options);
+  std::size_t shard_count = resolve_shard_count(options);
+  // One pool for decode + clean + merge (instead of three spawn/join
+  // rounds); the caller participates, so threads-1 workers.
+  std::optional<WorkerPool> pool_storage;
+  if (threads > 1) pool_storage.emplace(threads - 1);
+  WorkerPool* pool = pool_storage ? &*pool_storage : nullptr;
 
   IngestResult result;
   result.stats.files = collectors.size();
@@ -1390,11 +1496,11 @@ IngestResult ingest_collectors(
   }
 
   std::vector<DecodedChunk> decoded(jobs.size());
-  run_parallel(threads, jobs.size(), [&](std::size_t j) {
+  run_parallel(pool, jobs.size(), [&](std::size_t j) {
     const Job& job = jobs[j];
     const sim::RouteCollector& collector = *collectors[job.file];
     const std::vector<sim::RecordedMessage>& messages = collector.messages();
-    DecodedChunk out;
+    DecodedChunk out(shard_count);
     out.file = job.file;
     out.chunk = job.chunk;
     std::uint64_t base = seq_base(job.file, job.chunk);
@@ -1411,7 +1517,7 @@ IngestResult ingest_collectors(
   });
 
   sort_decoded(decoded);
-  finish_engine(decoded, options, threads, result);
+  finish_engine(decoded, options, pool, threads, shard_count, result);
   return result;
 }
 

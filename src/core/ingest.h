@@ -3,17 +3,22 @@
 // the cleaned, chronologically ordered UpdateStream every analysis layer
 // consumes.
 //
-// Pipeline:
+// Pipeline (every stage runs on one persistent core::WorkerPool, created
+// with the engine and reused across windows and poll()/finish() calls —
+// no per-window thread spawn/join):
 //   1. Frame   — sequential readers (one per archive file, fanned out over
 //                `frame_threads`) slice the input into batches of
 //                `chunk_records` raw records. Each batch carries a
 //                (file, chunk) arrival coordinate — the determinism
-//                anchor — and is pushed into a bounded queue so framing
-//                I/O overlaps decode instead of serializing before it.
-//   2. Decode  — a worker pool pops batches off the queue as they arrive
+//                anchor — and is submitted as a decode task, with the
+//                number in flight bounded (`queue_chunks`) so framing
+//                I/O overlaps decode without unbounded buffering.
+//   2. Decode  — pool workers decode each batch as it is framed
 //                (decode starts while later files are still being framed),
-//                decodes each (BGP4MP endpoints + inner UPDATE) and
-//                explodes messages into per-prefix UpdateRecords.
+//                decoding BGP4MP endpoints + inner UPDATE and exploding
+//                messages into per-prefix UpdateRecords. In windowed mode
+//                window N+1 frames/decodes on the pool while window N
+//                cleans and merges (IngestOptions::pipeline_windows).
 //   3. Shard   — decoded records are bucketed by SessionKey hash, so every
 //                BGP session lands wholly inside one shard — even when its
 //                messages span several archive files — and the §4 cleaning
@@ -57,12 +62,18 @@
 
 namespace bgpcc::core {
 
-/// Number of SessionKey-hash shards the engine uses. Fixed (not
-/// thread-derived) so the shard assignment — and with it every per-shard
-/// cleaning and observation decision — is identical no matter how many
-/// workers run. Exported so inline analytics (analytics/driver.h) can
-/// size one state set per shard.
+/// Default (and minimum) number of SessionKey-hash shards the engine
+/// uses. The resolved count (resolve_shard_count) is recorded in every
+/// checkpoint cursor, because the per-shard cleaning carry is shaped by
+/// it; the OUTPUT is shard-count-invariant — each session lands wholly
+/// inside one shard for any count, and cleaning/passes depend only on
+/// the record multiset plus per-session order. Exported so inline
+/// analytics (analytics/driver.h) can size one state set per shard.
 inline constexpr std::size_t kIngestShards = 16;
+
+/// Hard cap on the shard count, matching the wire codec's sanity cap —
+/// a checkpoint claiming more shards than this is rejected as corrupt.
+inline constexpr std::size_t kMaxIngestShards = 4096;
 
 /// Knobs for the parallel ingestion engine.
 struct IngestOptions {
@@ -102,6 +113,21 @@ struct IngestOptions {
   /// the archives-larger-than-RAM configuration. Ignored in batch mode
   /// (window_records == 0), which never materializes runs.
   std::string spill_dir;
+  /// Pipeline windows (default on): while window N runs shard-clean,
+  /// merge, and inline passes, window N+1 is framed and decoded on the
+  /// persistent worker pool, bounded by the same queue_chunks cap so
+  /// peak memory stays O(window + shards). Effective only in windowed
+  /// multi-threaded runs; the output is byte-identical either way
+  /// (windows are processed strictly in order — only the frame/decode
+  /// work overlaps). Off is mainly useful for benchmarking the overlap.
+  bool pipeline_windows = true;
+  /// SessionKey-hash shard count. 0 (default) resolves to kIngestShards,
+  /// doubled until it is at least the resolved thread count (capped at
+  /// kMaxIngestShards); an explicit value is used as-is. The resolved
+  /// count is recorded in checkpoints and adopted on restore, so a
+  /// cursor written on a many-core host resumes anywhere. Output never
+  /// depends on it.
+  std::size_t shards = 0;
   /// Optional per-shard observer: the inline-analytics hook
   /// (analytics/driver.h installs one via AnalysisDriver::attach). Called
   /// once per non-empty shard per window, after cleaning, with the
@@ -117,6 +143,12 @@ struct IngestOptions {
   std::function<void(std::size_t shard, const std::vector<SeqRecord>&)>
       shard_observer;
 };
+
+/// The shard count an engine built from `options` will use: an explicit
+/// IngestOptions::shards verbatim (ConfigError above kMaxIngestShards),
+/// else kIngestShards doubled until it covers the resolved thread count.
+/// Exposed so inline analytics can size shard state identically.
+[[nodiscard]] std::size_t resolve_shard_count(const IngestOptions& options);
 
 /// Observability counters for one ingestion run. The counting fields
 /// (files, chunks, raw_records, update_messages, records) are
@@ -176,7 +208,13 @@ struct IngestCheckpoint {
   /// deterministic, so skipping this many chunks relocates the cursor
   /// exactly).
   std::uint32_t chunk_index = 0;
-  /// Per-shard cleaning carry (kIngestShards entries).
+  /// Resolved shard count of the checkpointed run — the shape of `carry`.
+  /// Serialized since format v2 so a cursor written on a host that
+  /// auto-resolved more shards (num_threads = 0 on a many-core machine)
+  /// restores exactly on any other host: restore_checkpoint ADOPTS this
+  /// count instead of re-resolving it locally.
+  std::size_t shards = 0;
+  /// Per-shard cleaning carry (`shards` entries).
   std::vector<cleaning::SecondCarry> carry;
   CleaningReport cleaning;
   IngestStats stats;
@@ -240,15 +278,20 @@ class StreamingIngestor {
 
   /// Snapshots the windowed framing cursor, cleaning carry, and counters
   /// between windows — call after poll() returns, never concurrently
-  /// with it. Throws ConfigError once the ingestor is finished or
+  /// with it. Safe while a pipelined prefetch of the next window is in
+  /// flight: the snapshot reads the cursor committed by the last
+  /// PROCESSED window (a resumed run simply re-frames the prefetched
+  /// window). Throws ConfigError once the ingestor is finished or
   /// poisoned (there is nothing left to resume). See IngestCheckpoint
   /// for what is (and is not) captured.
   [[nodiscard]] IngestCheckpoint checkpoint_state() const;
 
   /// Rewinds a FRESH ingestor (sources registered, nothing polled) to a
   /// checkpoint: validates that chunk_records and the registered
-  /// collector names match the snapshot (ConfigError otherwise),
-  /// restores carry/cleaning/stats, and relocates the framing cursor by
+  /// collector names match the snapshot (ConfigError otherwise), ADOPTS
+  /// the snapshot's shard count (so a cursor written under a different
+  /// auto-resolved count restores exactly), restores
+  /// carry/cleaning/stats, and relocates the framing cursor by
   /// re-opening the partially consumed source and discarding the
   /// already-processed chunks (deterministic chunking makes the skip
   /// exact). Throws DecodeError when the source is shorter than the

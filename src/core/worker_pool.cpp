@@ -1,0 +1,158 @@
+#include "core/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace bgpcc::core {
+
+WorkerPool::WorkerPool(unsigned workers) {
+  workers_.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  // Workers drain the queue before exiting, so anything still queued
+  // here belongs to a zero-worker pool whose owner never waited; run it
+  // now so no Group is left with a dangling pending count.
+  while (help_one()) {
+  }
+}
+
+void WorkerPool::submit(Group& group, std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++group.pending_;
+    queue_.push_back(Task{&group, std::move(task)});
+  }
+  task_cv_.notify_one();
+  done_cv_.notify_all();  // waiting threads help with queued tasks
+}
+
+void WorkerPool::wait(Group& group) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (group.pending_ != 0) {
+    if (!queue_.empty()) {
+      Task task = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      run_task(task);
+      lock.lock();
+      continue;
+    }
+    done_cv_.wait(lock,
+                  [&] { return group.pending_ == 0 || !queue_.empty(); });
+  }
+  std::exception_ptr error = std::move(group.error_);
+  group.error_ = nullptr;
+  group.failed_.store(false, std::memory_order_release);
+  lock.unlock();
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+bool WorkerPool::help_one() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) {
+      return false;
+    }
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  run_task(task);
+  return true;
+}
+
+void WorkerPool::parallel_for(std::size_t jobs,
+                              const std::function<void(std::size_t)>& body) {
+  if (workers_.empty() || jobs <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) {
+      body(i);
+    }
+    return;
+  }
+  Group group;
+  std::atomic<std::size_t> next{0};
+  auto loop = [&group, &next, jobs, &body] {
+    for (;;) {
+      if (group.failed()) {
+        return;
+      }
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs) {
+        return;
+      }
+      body(i);
+    }
+  };
+  const std::size_t helpers = std::min<std::size_t>(workers_.size(), jobs - 1);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    submit(group, loop);
+  }
+  try {
+    loop();
+  } catch (...) {
+    fail(group, std::current_exception());
+  }
+  wait(group);
+}
+
+void WorkerPool::fail(Group& group, std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!group.error_) {
+    group.error_ = std::move(error);
+  }
+  group.failed_.store(true, std::memory_order_release);
+}
+
+void WorkerPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    task_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) {
+        return;
+      }
+      continue;
+    }
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    run_task(task);
+    lock.lock();
+  }
+}
+
+void WorkerPool::run_task(Task& task) {
+  // The short-circuit: tasks of an already-failed group complete
+  // without running, so one thrown exception stops the whole stage.
+  if (!task.group->failed()) {
+    try {
+      task.fn();
+    } catch (...) {
+      fail(*task.group, std::current_exception());
+    }
+  }
+  complete(*task.group);
+}
+
+void WorkerPool::complete(Group& group) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--group.pending_ == 0) {
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace bgpcc::core

@@ -178,6 +178,47 @@ TEST(CheckpointResume, EveryInterruptionPointResumesExactly) {
   }
 }
 
+TEST(CheckpointResume, ShardCountAdoptedAcrossHosts) {
+  Fixture fixture;
+
+  // Reference: the uninterrupted run at this host's default shard count.
+  auto reference = fixture.start();
+  IngestResult ref_result = reference->engine->finish();
+  ASSERT_GT(ref_result.stream.size(), 0u);
+  AllReports expected = collect(reference->driver, reference->handles);
+
+  // "Big host": an explicit 32-shard run (what num_threads = 0 resolves
+  // to on a 32-core machine), interrupted after two windows.
+  std::ostringstream checkpoint;
+  {
+    AnalysisDriver driver;
+    (void)add_all_passes(driver);
+    IngestOptions opt = fixture.options();
+    opt.shards = 32;
+    driver.attach(opt);
+    StreamingIngestor engine(opt);
+    std::istringstream in_a(fixture.archive_a);
+    std::istringstream in_b(fixture.archive_b);
+    engine.add_stream("rrc00", in_a);
+    engine.add_stream("rrc01", in_b);
+    ASSERT_TRUE(engine.poll());
+    ASSERT_TRUE(engine.poll());
+    EXPECT_EQ(engine.stats().shards, 32u);
+    driver.checkpoint(checkpoint, engine);
+  }
+
+  // "Small host": default options resolve to 16 shards here, but the
+  // restore ADOPTS the checkpoint's 32 — and because the shard count is
+  // a parallelism knob with no semantic weight, the resumed reports
+  // equal the default-shard uninterrupted run exactly.
+  auto resumed = fixture.start();
+  std::istringstream in(checkpoint.str());
+  resumed->driver.restore(in, *resumed->engine);
+  EXPECT_EQ(resumed->engine->stats().shards, 32u);
+  (void)resumed->engine->finish();
+  EXPECT_EQ(collect(resumed->driver, resumed->handles), expected);
+}
+
 TEST(CheckpointResume, CheckpointIsDeterministic) {
   Fixture fixture;
   std::ostringstream first;
@@ -285,6 +326,18 @@ TEST(CheckpointResume, MisuseThrowsConfigError) {
     engine.add_stream("rrc00", in_a);  // rrc01 missing
     std::istringstream in(out.str());
     EXPECT_THROW(driver.restore(in, engine), ConfigError);
+  }
+
+  // A second attach() resolving a different shard count: the states are
+  // already minted at the first run's layout.
+  {
+    AnalysisDriver driver;
+    (void)add_all_passes(driver);
+    IngestOptions first = fixture.options();
+    driver.attach(first);
+    IngestOptions second = fixture.options();
+    second.shards = 32;
+    EXPECT_THROW(driver.attach(second), ConfigError);
   }
 
   // Restore into a used (already polled) ingestor.

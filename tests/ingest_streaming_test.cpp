@@ -7,11 +7,14 @@
 // one-window special case of the same core.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <random>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -225,30 +228,71 @@ TEST(IngestStreaming, WindowThreadSpillEquivalence) {
          {std::size_t{16}, std::size_t{140}, std::size_t{1} << 40}) {
       for (unsigned threads : {1u, 4u}) {
         for (bool spill : {false, true}) {
-          SCOPED_TRACE("window=" + std::to_string(window) +
-                       " threads=" + std::to_string(threads) +
-                       " spill=" + std::to_string(spill));
-          IngestOptions options = reference_options;
-          options.num_threads = threads;
-          options.window_records = window;
-          std::string spill_dir;
-          if (spill) {
-            spill_dir = ::testing::TempDir() + "/bgpcc_spill_" +
-                        std::to_string(seed) + "_" + std::to_string(window) +
-                        "_" + std::to_string(threads);
-            options.spill_dir = spill_dir;
-          }
-          IngestResult result = streaming_ingest(parts, options);
-          expect_identical(reference, result);
-          if (window == std::size_t{16}) {
-            EXPECT_GT(result.stats.windows, 1u);
-          }
-          if (spill) {
-            EXPECT_EQ(spill_files_in(spill_dir), 0u)
-                << "spill runs must be removed after the merge";
+          for (bool pipeline : {false, true}) {
+            SCOPED_TRACE("window=" + std::to_string(window) +
+                         " threads=" + std::to_string(threads) +
+                         " spill=" + std::to_string(spill) +
+                         " pipeline=" + std::to_string(pipeline));
+            IngestOptions options = reference_options;
+            options.num_threads = threads;
+            options.window_records = window;
+            options.pipeline_windows = pipeline;
+            std::string spill_dir;
+            if (spill) {
+              spill_dir = ::testing::TempDir() + "/bgpcc_spill_" +
+                          std::to_string(seed) + "_" + std::to_string(window) +
+                          "_" + std::to_string(threads) + "_" +
+                          std::to_string(pipeline);
+              options.spill_dir = spill_dir;
+            }
+            IngestResult result = streaming_ingest(parts, options);
+            expect_identical(reference, result);
+            if (window == std::size_t{16}) {
+              EXPECT_GT(result.stats.windows, 1u);
+            }
+            if (spill) {
+              EXPECT_EQ(spill_files_in(spill_dir), 0u)
+                  << "spill runs must be removed after the merge";
+            }
           }
         }
       }
+    }
+  }
+}
+
+// The pipelining worst case: window_records=1 puts every chunk in its
+// own window, so the prefetch framer is re-armed on every poll and the
+// processed window / prefetched window hand-off happens hundreds of
+// times. Differential equality vs the sequential batch reference across
+// threads × pipelining; with chunk_records=1 this is also the TSan
+// stress target for the pool-based window machinery (many tiny decode
+// tasks racing the shard-clean/merge stages of the previous window).
+TEST(IngestStreaming, TinyWindowsPipeliningMatrix) {
+  ArchiveGenerator gen(47);
+  std::vector<std::string> records = gen.generate(300);
+  Registry registry = allocated_registry();
+  CleaningOptions cleaning = cleaning_options(registry);
+  std::vector<std::string> parts = split_archives(records, 2);
+
+  IngestOptions reference_options;
+  reference_options.num_threads = 1;
+  reference_options.chunk_records = 1;
+  reference_options.cleaning = &cleaning;
+  IngestResult reference = streaming_ingest(parts, reference_options);
+  ASSERT_GT(reference.stream.size(), 0u);
+
+  for (unsigned threads : {1u, 4u}) {
+    for (bool pipeline : {false, true}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " pipeline=" + std::to_string(pipeline));
+      IngestOptions options = reference_options;
+      options.num_threads = threads;
+      options.window_records = 1;
+      options.pipeline_windows = pipeline;
+      IngestResult result = streaming_ingest(parts, options);
+      expect_identical(reference, result);
+      EXPECT_GT(result.stats.windows, 100u);
     }
   }
 }
@@ -606,6 +650,109 @@ TEST(IngestStreaming, OversizeLegacyPathSurvivesSpill) {
   spilled.spill_dir = ::testing::TempDir() + "/bgpcc_oversize_spill";
   IngestResult result = streaming_ingest({archive.str()}, spilled);
   expect_identical(reference, result);
+}
+
+// A failure while a window's run is being spilled must not leak the
+// partially written run file into spill_dir: add_run removes it before
+// rethrowing, and the store's destructor removes every completed run.
+// The injected failure is a collector name past the spill codec's u16
+// length cap — the write throws ConfigError mid-run, after the file has
+// already been created.
+TEST(IngestStreaming, SpillFailureLeavesDirClean) {
+  ArchiveGenerator gen(53);
+  std::vector<std::string> records = gen.generate(40);
+  std::string archive;
+  for (const std::string& record : records) archive += record;
+
+  std::string spill_dir = ::testing::TempDir() + "/bgpcc_spill_failure";
+  std::filesystem::create_directories(spill_dir);
+  IngestOptions options;
+  options.num_threads = 2;
+  options.chunk_records = 4;
+  options.window_records = 8;
+  options.spill_dir = spill_dir;
+
+  std::string oversize_collector(
+      std::numeric_limits<std::uint16_t>::max() + 1, 'c');
+  std::istringstream in(archive);
+  {
+    StreamingIngestor engine(options);
+    engine.add_stream(oversize_collector, in);
+    EXPECT_THROW((void)engine.finish(), ConfigError);
+    EXPECT_EQ(spill_files_in(spill_dir), 0u)
+        << "a partial spill run leaked after a mid-write failure";
+    // The failed run poisons the ingestor like any other window failure.
+    EXPECT_THROW((void)engine.poll(), ConfigError);
+  }
+  EXPECT_EQ(spill_files_in(spill_dir), 0u)
+      << "engine destruction must not resurrect spill files";
+}
+
+// Regression for the error path of the shard fan-out: when one shard's
+// observer throws, the remaining queued shard jobs must be skipped, not
+// executed. The old per-window spawn/join code ran every remaining job
+// to completion after the first failure; the pool's failed-group
+// short-circuit stops after at most one in-flight job per thread.
+TEST(IngestStreaming, ThrowingObserverShortCircuitsShardJobs) {
+  ArchiveGenerator gen(59);
+  std::vector<std::string> records = gen.generate(200);
+  Registry registry = allocated_registry();
+  CleaningOptions cleaning = cleaning_options(registry);
+  std::string archive;
+  for (const std::string& record : records) archive += record;
+
+  IngestOptions options;
+  options.num_threads = 2;
+  options.chunk_records = 16;
+  options.cleaning = &cleaning;
+
+  // Count the non-empty shards a healthy run observes. Four collector
+  // names × six peers gives 24 distinct session keys, so the fixture
+  // populates most of the 16 shards — "ran every job" and
+  // "short-circuited" are unambiguously distinguishable.
+  const std::vector<std::string> collectors{"C1", "C2", "C3", "C4"};
+  std::atomic<std::size_t> healthy_calls{0};
+  {
+    IngestOptions counting = options;
+    counting.shard_observer = [&healthy_calls](std::size_t,
+                                               const std::vector<SeqRecord>&) {
+      healthy_calls.fetch_add(1);
+    };
+    std::vector<std::istringstream> streams;
+    streams.reserve(collectors.size());
+    for (std::size_t i = 0; i < collectors.size(); ++i) {
+      streams.emplace_back(archive);
+    }
+    StreamingIngestor engine(counting);
+    for (std::size_t i = 0; i < collectors.size(); ++i) {
+      engine.add_stream(collectors[i], streams[i]);
+    }
+    (void)engine.finish();
+  }
+  ASSERT_GT(healthy_calls.load(), 4u);
+
+  // Every observer call throws, so each participating thread stops after
+  // its first claimed non-empty shard: with num_threads=2 at most two
+  // calls happen before the group fails and the rest are skipped.
+  std::atomic<std::size_t> throwing_calls{0};
+  IngestOptions throwing = options;
+  throwing.shard_observer = [&throwing_calls](std::size_t,
+                                              const std::vector<SeqRecord>&) {
+    throwing_calls.fetch_add(1);
+    throw std::runtime_error("observer rejects the shard");
+  };
+  std::vector<std::istringstream> streams;
+  streams.reserve(collectors.size());
+  for (std::size_t i = 0; i < collectors.size(); ++i) {
+    streams.emplace_back(archive);
+  }
+  StreamingIngestor engine(throwing);
+  for (std::size_t i = 0; i < collectors.size(); ++i) {
+    engine.add_stream(collectors[i], streams[i]);
+  }
+  EXPECT_THROW((void)engine.finish(), std::runtime_error);
+  EXPECT_LE(throwing_calls.load(), 2u)
+      << "shard jobs kept running after the group had already failed";
 }
 
 // A throwing poll() consumes the aborted window's records, so the

@@ -122,6 +122,16 @@ TEST(SerializeHeader, BadMagicAndVersionThrow) {
     std::ostringstream out;
     serialize::Writer w(out);
     w.u32(serialize::kMagic);
+    w.u16(1);  // the retired v1 layout (no cursor shard count): rejected
+    w.u8(1);
+    std::istringstream in(out.str());
+    serialize::Reader r(in);
+    EXPECT_THROW((void)serialize::read_block_header(r), DecodeError);
+  }
+  {
+    std::ostringstream out;
+    serialize::Writer w(out);
+    w.u32(serialize::kMagic);
     w.u16(serialize::kFormatVersion);
     w.u8(99);  // unknown block kind
     std::istringstream in(out.str());
@@ -419,6 +429,7 @@ TEST(SerializeRobustness, MismatchedHistogramBucketsThrow) {
 TEST(SerializeRobustness, BareIngestCursorIsRejected) {
   core::IngestCheckpoint cursor;
   cursor.chunk_records = 4096;
+  cursor.shards = core::kIngestShards;
   cursor.carry.resize(core::kIngestShards);
   std::ostringstream out;
   serialize::Writer w(out);
@@ -441,6 +452,7 @@ TEST(SerializeRobustness, IngestCheckpointRoundtrips) {
   cursor.input_open = true;
   cursor.current_file = 1;
   cursor.chunk_index = 42;
+  cursor.shards = core::kIngestShards;
   cursor.carry.resize(core::kIngestShards);
   core::SessionKey session{"rrc00", Asn(65001), IpAddress::v4(10, 0, 0, 1)};
   cursor.carry[session.hash() % core::kIngestShards][session] = {1600000000,
@@ -461,12 +473,39 @@ TEST(SerializeRobustness, IngestCheckpointRoundtrips) {
   EXPECT_EQ(back.input_open, cursor.input_open);
   EXPECT_EQ(back.current_file, cursor.current_file);
   EXPECT_EQ(back.chunk_index, cursor.chunk_index);
+  EXPECT_EQ(back.shards, core::kIngestShards);
   ASSERT_EQ(back.carry.size(), cursor.carry.size());
   const auto& shard = back.carry[session.hash() % core::kIngestShards];
   ASSERT_EQ(shard.size(), 1u);
   EXPECT_EQ(shard.at(session), (std::pair<std::int64_t, int>{1600000000, 3}));
   EXPECT_EQ(back.cleaning.dropped_unallocated_asn, 7u);
   EXPECT_EQ(back.stats.raw_records, 99u);
+}
+
+TEST(SerializeRobustness, IngestCursorShardFieldIsValidated) {
+  // shards = 0 (a hand-built legacy struct): the writer derives the
+  // count from the carry's shape, and the reader hands it back.
+  core::IngestCheckpoint cursor;
+  cursor.chunk_records = 1024;
+  cursor.carry.resize(8);
+  {
+    std::ostringstream out;
+    serialize::Writer w(out);
+    serialize::write_ingest_checkpoint(w, cursor);
+    std::istringstream in(out.str());
+    serialize::Reader r(in);
+    EXPECT_EQ(serialize::read_ingest_checkpoint(r).shards, 8u);
+  }
+
+  // A shard count that disagrees with the carry is corruption, not a
+  // judgement call: the reader must refuse.
+  cursor.shards = 4;  // the carry still holds 8 entries
+  std::ostringstream bad;
+  serialize::Writer w(bad);
+  serialize::write_ingest_checkpoint(w, cursor);
+  std::istringstream in(bad.str());
+  serialize::Reader r(in);
+  EXPECT_THROW((void)serialize::read_ingest_checkpoint(r), DecodeError);
 }
 
 /// A pass that deliberately does NOT model SerializablePass.

@@ -181,6 +181,54 @@ TEST(ParallelIngest, ChunkSizeInvariance) {
   }
 }
 
+TEST(ParallelIngest, ShardCountInvariance) {
+  // The shard count is a parallelism knob, not a semantic one: any
+  // explicit count — and the auto-resolved default — must produce the
+  // byte-identical stream, because sessions stay whole per shard and the
+  // merge orders globally. This is what lets checkpoints written on a
+  // 64-core host resume on a 4-core one.
+  std::string archive = synthetic_archive(25);
+  Registry registry = allocated_registry();
+  CleaningOptions cleaning = cleaning_options(registry);
+
+  IngestOptions reference_options;
+  reference_options.num_threads = 4;
+  reference_options.chunk_records = 8;
+  reference_options.cleaning = &cleaning;
+  IngestResult reference = ingest(archive, reference_options);
+  EXPECT_EQ(reference.stats.shards, kIngestShards);
+
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}, std::size_t{16},
+                             std::size_t{64}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    IngestOptions options = reference_options;
+    options.shards = shards;
+    IngestResult result = ingest(archive, options);
+    expect_identical(reference, result);
+    EXPECT_EQ(result.stats.shards, shards);
+  }
+
+  IngestOptions oversize = reference_options;
+  oversize.shards = kMaxIngestShards + 1;
+  EXPECT_THROW((void)ingest(archive, oversize), ConfigError);
+}
+
+TEST(ParallelIngest, ShardCountResolvesAboveThreadCount) {
+  IngestOptions options;
+  options.num_threads = 1;
+  EXPECT_EQ(resolve_shard_count(options), kIngestShards);
+  options.num_threads = 16;
+  EXPECT_EQ(resolve_shard_count(options), kIngestShards);
+  options.num_threads = 17;
+  EXPECT_EQ(resolve_shard_count(options), 32u);
+  options.num_threads = 64;
+  EXPECT_EQ(resolve_shard_count(options), 64u);
+  options.num_threads = 5000;  // capped, not unbounded doubling
+  EXPECT_EQ(resolve_shard_count(options), kMaxIngestShards);
+  options.shards = 7;  // explicit values win verbatim
+  EXPECT_EQ(resolve_shard_count(options), 7u);
+}
+
 TEST(ParallelIngest, MatchesLegacySequentialPipeline) {
   std::string archive = synthetic_archive(25);
   Registry registry = allocated_registry();
