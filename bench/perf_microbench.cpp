@@ -521,6 +521,45 @@ void BM_CheckpointRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_CheckpointRoundtrip);
 
+// Epoch-snapshot cost (analytics::AnalysisDriver::snapshot()): clone all
+// per-shard states of the full pass set under the committed-window lock,
+// then merge the clones outside it — the price a live dashboard pays per
+// report refresh while ingestion keeps running. Swept over evidence size
+// (records ingested before snapshotting, arg0) and the thread count the
+// driver was attached with (arg1): more shards means more clones per
+// epoch, and state size — not ingest speed — should dominate. items/sec
+// counts records covered per snapshot so the gate tracks cost-per-record
+// of a refresh, comparable across evidence sizes.
+void BM_SnapshotEpoch(benchmark::State& state) {
+  const int records = static_cast<int>(state.range(0));
+  core::Registry registry = ingest_bench_registry();
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  analytics::AnalysisDriver driver;
+  add_standard_passes(driver);
+  core::IngestOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(1));
+  options.chunk_records = 1024;
+  options.cleaning = &cleaning;
+  driver.attach(options);
+  std::istringstream in(synthetic_ingest_archive(64, records / 64));
+  core::IngestResult result = core::ingest_mrt_stream("bench", in, options);
+  benchmark::DoNotOptimize(result.stream.size());
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(driver.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.counters["threads"] = static_cast<double>(options.num_threads);
+  state.counters["records"] = static_cast<double>(records);
+}
+BENCHMARK(BM_SnapshotEpoch)
+    ->Args({2048, 1})
+    ->Args({2048, 4})
+    ->Args({16384, 1})
+    ->Args({16384, 4});
+
 void BM_DecisionCompare(benchmark::State& state) {
   Route a;
   a.prefix = Prefix::from_string("84.205.64.0/24");

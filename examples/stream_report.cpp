@@ -2,21 +2,36 @@
 // multi-archive input — the analytics engine end to end.
 //
 // A small beacon internet runs one simulated day; each collector's log
-// is written as a gzip-compressed MRT archive (exactly the shape of a
+// is written as gzip-compressed MRT archives (exactly the shape of a
 // RouteViews/RIS download directory); then a single windowed ingestion
-// run cleans the stream while ClassifierPass, CommunityStatsPass,
-// DuplicateBurstPass, AnomalyPass, RevealedPass, and
-// UsageClassificationPass observe inline on the shard threads. Window runs
-// spill to disk and the final merged records flow through a discarding
-// sink, so NO cleaned stream is ever materialized: peak memory is
-// O(window + shards + pass state), the configuration that scales to
-// archives larger than RAM.
+// run cleans the stream while all nine shipped passes observe inline on
+// the shard threads. Window runs spill to disk and the final merged
+// records flow through a discarding sink, so NO cleaned stream is ever
+// materialized: peak memory is O(window + shards + pass state), the
+// configuration that scales to archives larger than RAM.
 //
-// Run: ./stream_report
+// Two modes:
+//
+//   ./stream_report
+//       Batch: ingest everything, then print the nine-section report
+//       once from the finalizing report().
+//
+//   ./stream_report --follow [--interval-ms N]
+//       Live serving: the collector logs are written as a rotated dump
+//       series (the 5-/15-minute files real collectors publish), and
+//       the ingestion loop discovers one new dump per collector per
+//       round — polling the growing archive directory the way a
+//       long-running bgpccd would. After draining each round's windows
+//       it takes a non-finalizing AnalysisDriver::snapshot() and
+//       re-emits the full nine-section report for that epoch; the final
+//       finish() + report() is byte-identical to the batch run.
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analytics/driver.h"
@@ -27,8 +42,183 @@
 
 using namespace bgpcc;
 
-int main() {
-  // 1. Simulate a day and write compressed collector archives.
+namespace {
+
+/// Handles for all nine shipped passes, registration order = wire tags.
+struct Handles {
+  analytics::PassHandle<analytics::ClassifierPass> types;
+  analytics::PassHandle<analytics::PerSessionTypesPass> sessions;
+  analytics::PassHandle<analytics::TomographyPass> tomography;
+  analytics::PassHandle<analytics::CommunityStatsPass> communities;
+  analytics::PassHandle<analytics::DuplicateBurstPass> duplicates;
+  analytics::PassHandle<analytics::AnomalyPass> anomalies;
+  analytics::PassHandle<analytics::RevealedPass> revealed;
+  analytics::PassHandle<analytics::ExplorationPass> exploration;
+  analytics::PassHandle<analytics::UsageClassificationPass> usage;
+};
+
+Handles add_passes(analytics::AnalysisDriver& driver) {
+  Handles h;
+  h.types = driver.add(analytics::ClassifierPass{});
+  h.sessions = driver.add(analytics::PerSessionTypesPass{});
+  h.tomography = driver.add(analytics::TomographyPass{});
+  h.communities = driver.add(analytics::CommunityStatsPass{});
+  h.duplicates = driver.add(analytics::DuplicateBurstPass{});
+  core::AnomalyOptions anomaly_options;
+  anomaly_options.min_classified = 20;
+  anomaly_options.novelty_min_occurrences = 50;
+  h.anomalies = driver.add(analytics::AnomalyPass{anomaly_options});
+  core::BeaconSchedule schedule;  // the simulated day runs the RIS default
+  h.revealed = driver.add(analytics::RevealedPass{schedule});
+  h.exploration = driver.add(analytics::ExplorationPass{schedule});
+  core::UsageOptions usage_options;
+  usage_options.min_occurrences = 5;
+  h.usage = driver.add(analytics::UsageClassificationPass{usage_options});
+  return h;
+}
+
+/// All nine projections, collected from a snapshot or from the
+/// finalized driver — the printer is agnostic to the source.
+struct Reports {
+  analytics::ClassifierPass::Report types;
+  analytics::PerSessionTypesPass::Report sessions;
+  analytics::TomographyPass::Report tomography;
+  analytics::CommunityStatsPass::Report communities;
+  analytics::DuplicateBurstPass::Report duplicates;
+  core::AnomalyReport anomalies;
+  core::RevealedStats revealed;
+  analytics::ExplorationPass::Report exploration;
+  analytics::UsageClassificationPass::Report usage;
+};
+
+Reports collect(const analytics::ReportSnapshot& snap, const Handles& h) {
+  return Reports{snap.report(h.types),      snap.report(h.sessions),
+                 snap.report(h.tomography), snap.report(h.communities),
+                 snap.report(h.duplicates), snap.report(h.anomalies),
+                 snap.report(h.revealed),   snap.report(h.exploration),
+                 snap.report(h.usage)};
+}
+
+Reports collect_final(analytics::AnalysisDriver& driver, const Handles& h) {
+  return Reports{driver.report(h.types),      driver.report(h.sessions),
+                 driver.report(h.tomography), driver.report(h.communities),
+                 driver.report(h.duplicates), driver.report(h.anomalies),
+                 driver.report(h.revealed),   driver.report(h.exploration),
+                 driver.report(h.usage)};
+}
+
+void print_report(const Reports& r) {
+  // 1. Table-2-style announcement-type shares.
+  core::TextTable table({"type", "observed changes", "count", "share"});
+  const char* descriptions[6] = {
+      "path + community", "path only",        "community only",
+      "no change",        "prepending+comm.", "prepending only"};
+  for (std::size_t i = 0; i < 6; ++i) {
+    core::AnnouncementType type = core::kAllAnnouncementTypes[i];
+    table.add_row({core::label(type), descriptions[i],
+                   core::with_commas(r.types.counts.count(type)),
+                   core::percent(r.types.counts.share(type))});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // 2. Per-session type ranking (Figure 3's input).
+  std::printf("sessions ranked by activity (%zu total):\n",
+              r.sessions.size());
+  for (std::size_t i = 0; i < r.sessions.size() && i < 3; ++i) {
+    const auto& [session, counts] = r.sessions[i];
+    std::printf("  %s: %s classified\n", session.to_string().c_str(),
+                core::with_commas(counts.total()).c_str());
+  }
+
+  // 3. §7 per-AS community-behavior tomography.
+  std::size_t labeled = 0;
+  for (const core::AsEvidence& e : r.tomography) {
+    if (e.classification != core::CommunityBehavior::kUnknown) ++labeled;
+  }
+  std::printf("tomography: %zu ASes observed on-path, %zu with inferred "
+              "community behavior\n",
+              r.tomography.size(), labeled);
+
+  // 4. Community-attribute statistics (Table 1's community rows).
+  std::printf("announcements w/ communities: %s  (mean %s per "
+              "announcement)\n",
+              core::percent(r.communities.share_with_communities()).c_str(),
+              core::format_double(r.communities.mean_communities(), 2)
+                  .c_str());
+  std::printf("unique community values: %s across %zu AS namespaces\n",
+              core::with_commas(r.communities.unique_communities).c_str(),
+              r.communities.namespaces.size());
+
+  // 5. Duplicate attribution.
+  std::printf("duplicates: %s nn among %s classified announcements; "
+              "%s bursts\n",
+              core::with_commas(r.duplicates.nn).c_str(),
+              core::with_commas(r.duplicates.classified).c_str(),
+              core::with_commas(r.duplicates.bursts).c_str());
+
+  // 6. Anomaly scan (§7): duplicate outliers + novelty bursts.
+  std::printf("\nanomaly scan: population nn share mean %s (stddev %s); "
+              "%zu duplicate outliers, %zu novelty bursts\n",
+              core::percent(r.anomalies.population_mean_nn_share).c_str(),
+              core::percent(r.anomalies.population_stddev_nn_share).c_str(),
+              r.anomalies.duplicate_outliers.size(),
+              r.anomalies.novelty_bursts.size());
+  for (std::size_t i = 0; i < r.anomalies.novelty_bursts.size() && i < 3;
+       ++i) {
+    const core::NoveltyBurst& burst = r.anomalies.novelty_bursts[i];
+    std::printf("  burst: %s x%s from %s\n",
+                burst.community.to_string().c_str(),
+                core::with_commas(burst.occurrences).c_str(),
+                burst.first_seen.time_of_day_string().substr(0, 8).c_str());
+  }
+
+  // 7. Revealed information (§6 / Figure 6).
+  std::printf("revealed attributes: %s unique; withdrawal-only %s, "
+              "announce-only %s, ambiguous %s\n",
+              core::with_commas(r.revealed.total_unique).c_str(),
+              core::percent(r.revealed.withdrawal_ratio()).c_str(),
+              core::with_commas(r.revealed.announce_only).c_str(),
+              core::with_commas(r.revealed.ambiguous).c_str());
+
+  // 8. §6 community exploration (Figure 4).
+  std::printf("exploration: %zu namespace-exploration events\n",
+              r.exploration.size());
+
+  // 9. Per-AS community usage (Krenc et al., IMC 2021).
+  core::TextTable usage_table(
+      {"namespace", "profile", "occurrences", "values", "sessions"});
+  for (std::size_t i = 0; i < r.usage.size() && i < 6; ++i) {
+    const core::AsUsage& as_usage = r.usage[i];
+    usage_table.add_row({std::to_string(as_usage.asn16),
+                         core::label(as_usage.profile),
+                         core::with_commas(as_usage.occurrences),
+                         core::with_commas(as_usage.distinct_values),
+                         core::with_commas(as_usage.sessions)});
+  }
+  std::printf("\ncommunity usage by namespace:\n%s",
+              usage_table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool follow = false;
+  long interval_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--follow") == 0) {
+      follow = true;
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--follow] [--interval-ms N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // 1. Simulate a day and write compressed collector archives. In
+  // --follow mode each collector's log is rotated into a dump series,
+  // and the ingestion loop below discovers one dump per round.
   synth::BeaconOptions options;
   options.transit_ingresses = 6;
   options.peers_per_collector = 12;
@@ -47,16 +237,24 @@ int main() {
   std::filesystem::path dir =
       std::filesystem::temp_directory_path() / "bgpcc_stream_report";
   std::filesystem::create_directories(dir);
+  constexpr std::size_t kRotations = 4;  // dumps per collector in --follow
   std::map<std::string, std::vector<std::string>> archives;
   for (const std::string& name : internet.collector_names()) {
-    std::string path = (dir / (name + suffix)).string();
-    internet.network().collector(name).write_mrt(path,
-                                                 /*extended_time=*/true,
-                                                 compression);
-    archives[name].push_back(path);
-    std::printf("  wrote %s (%ju bytes)\n", path.c_str(),
-                static_cast<std::uintmax_t>(
-                    std::filesystem::file_size(path)));
+    const sim::RouteCollector& collector = internet.network().collector(name);
+    if (follow) {
+      archives[name] = collector.write_mrt_rotated(
+          (dir / name).string(), kRotations, /*extended_time=*/true,
+          compression);
+    } else {
+      std::string path = (dir / (name + suffix)).string();
+      collector.write_mrt(path, /*extended_time=*/true, compression);
+      archives[name].push_back(path);
+    }
+    for (const std::string& path : archives[name]) {
+      std::printf("  wrote %s (%ju bytes)\n", path.c_str(),
+                  static_cast<std::uintmax_t>(
+                      std::filesystem::file_size(path)));
+    }
   }
 
   // 2. One pass: windowed ingestion + inline analytics on shard threads.
@@ -65,18 +263,7 @@ int main() {
   cleaning.registry = &registry;
 
   analytics::AnalysisDriver driver;
-  auto types = driver.add(analytics::ClassifierPass{});
-  auto communities = driver.add(analytics::CommunityStatsPass{});
-  auto duplicates = driver.add(analytics::DuplicateBurstPass{});
-  core::AnomalyOptions anomaly_options;
-  anomaly_options.min_classified = 20;
-  anomaly_options.novelty_min_occurrences = 50;
-  auto anomalies = driver.add(analytics::AnomalyPass{anomaly_options});
-  core::BeaconSchedule schedule;  // the simulated day runs the RIS default
-  auto revealed = driver.add(analytics::RevealedPass{schedule});
-  core::UsageOptions usage_options;
-  usage_options.min_occurrences = 5;
-  auto usage = driver.add(analytics::UsageClassificationPass{usage_options});
+  Handles handles = add_passes(driver);
 
   core::IngestOptions ingest;
   ingest.num_threads = 0;        // hardware concurrency
@@ -86,93 +273,49 @@ int main() {
   driver.attach(ingest);  // passes observe inline on the shard threads
 
   core::StreamingIngestor ingestor(ingest);
-  for (const auto& [collector, paths] : archives) {
-    for (const std::string& path : paths) {
-      ingestor.add_file(collector, path);
+
+  if (follow) {
+    // 2a. Live serving: each round, one new dump per collector appears
+    // (the growing download directory); drain its windows, then take a
+    // non-finalizing snapshot at the committed-window boundary and
+    // re-emit the full report for that epoch.
+    for (std::size_t round = 0; round < kRotations; ++round) {
+      for (const auto& [collector, paths] : archives) {
+        ingestor.add_file(collector, paths[round]);
+      }
+      while (ingestor.poll()) {
+      }
+      analytics::ReportSnapshot snap = driver.snapshot();
+      std::printf("\n===== epoch %ju: %s raw records ingested =====\n\n",
+                  static_cast<std::uintmax_t>(snap.epoch()),
+                  core::with_commas(ingestor.stats().raw_records).c_str());
+      print_report(collect(snap, handles));
+      if (interval_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+    }
+  } else {
+    for (const auto& [collector, paths] : archives) {
+      for (const std::string& path : paths) {
+        ingestor.add_file(collector, path);
+      }
     }
   }
-  // Counting sink: the merged records flow past without ever being
-  // materialized — only the pass states survive the run.
+
+  // 3. Finish: the merged records flow past a counting sink without ever
+  // being materialized — only the pass states survive the run. The
+  // finalizing report() after any number of snapshots is byte-identical
+  // to one taken on a never-snapshotted run.
   std::size_t cleaned = 0;
   core::IngestResult result =
       ingestor.finish([&cleaned](core::UpdateRecord&&) { ++cleaned; });
 
-  std::printf("\ningested %zu raw records -> %zu cleaned records "
+  std::printf("\n%singested %zu raw records -> %zu cleaned records "
               "(%zu windows, %u threads, stream never materialized)\n\n",
+              follow ? "===== final report =====\n\n" : "",
               result.stats.raw_records, cleaned, result.stats.windows,
               result.stats.threads);
-
-  // 3. Table-2-style announcement-type shares.
-  analytics::ClassifierPass::Report t = driver.report(types);
-  core::TextTable table({"type", "observed changes", "count", "share"});
-  const char* descriptions[6] = {
-      "path + community", "path only",        "community only",
-      "no change",        "prepending+comm.", "prepending only"};
-  for (std::size_t i = 0; i < 6; ++i) {
-    core::AnnouncementType type = core::kAllAnnouncementTypes[i];
-    table.add_row({core::label(type), descriptions[i],
-                   core::with_commas(t.counts.count(type)),
-                   core::percent(t.counts.share(type))});
-  }
-  std::printf("%s\n", table.to_string().c_str());
-
-  // 4. Community-attribute statistics (Table 1's community rows).
-  analytics::CommunityStatsPass::Report c = driver.report(communities);
-  std::printf("announcements w/ communities: %s  (mean %s per "
-              "announcement)\n",
-              core::percent(c.share_with_communities()).c_str(),
-              core::format_double(c.mean_communities(), 2).c_str());
-  std::printf("unique community values: %s across %zu AS namespaces\n",
-              core::with_commas(c.unique_communities).c_str(),
-              c.namespaces.size());
-
-  // 5. Duplicate attribution.
-  analytics::DuplicateBurstPass::Report d = driver.report(duplicates);
-  std::printf("duplicates: %s nn among %s classified announcements; "
-              "%s bursts\n",
-              core::with_commas(d.nn).c_str(),
-              core::with_commas(d.classified).c_str(),
-              core::with_commas(d.bursts).c_str());
-
-  // 6. Anomaly scan (§7): duplicate outliers + novelty bursts — the same
-  // kernels as core::detect_anomalies, accumulated on the shard threads.
-  core::AnomalyReport a = driver.report(anomalies);
-  std::printf("\nanomaly scan: population nn share mean %s (stddev %s); "
-              "%zu duplicate outliers, %zu novelty bursts\n",
-              core::percent(a.population_mean_nn_share).c_str(),
-              core::percent(a.population_stddev_nn_share).c_str(),
-              a.duplicate_outliers.size(), a.novelty_bursts.size());
-  for (std::size_t i = 0; i < a.novelty_bursts.size() && i < 3; ++i) {
-    const core::NoveltyBurst& burst = a.novelty_bursts[i];
-    std::printf("  burst: %s x%s from %s\n",
-                burst.community.to_string().c_str(),
-                core::with_commas(burst.occurrences).c_str(),
-                burst.first_seen.time_of_day_string().substr(0, 8).c_str());
-  }
-
-  // 7. Revealed information (§6 / Figure 6).
-  core::RevealedStats r = driver.report(revealed);
-  std::printf("revealed attributes: %s unique; withdrawal-only %s, "
-              "announce-only %s, ambiguous %s\n",
-              core::with_commas(r.total_unique).c_str(),
-              core::percent(r.withdrawal_ratio()).c_str(),
-              core::with_commas(r.announce_only).c_str(),
-              core::with_commas(r.ambiguous).c_str());
-
-  // 8. Per-AS community usage (Krenc et al., IMC 2021).
-  analytics::UsageClassificationPass::Report u = driver.report(usage);
-  core::TextTable usage_table(
-      {"namespace", "profile", "occurrences", "values", "sessions"});
-  for (std::size_t i = 0; i < u.size() && i < 6; ++i) {
-    const core::AsUsage& as_usage = u[i];
-    usage_table.add_row({std::to_string(as_usage.asn16),
-                         core::label(as_usage.profile),
-                         core::with_commas(as_usage.occurrences),
-                         core::with_commas(as_usage.distinct_values),
-                         core::with_commas(as_usage.sessions)});
-  }
-  std::printf("\ncommunity usage by namespace:\n%s",
-              usage_table.to_string().c_str());
+  print_report(collect_final(driver, handles));
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);

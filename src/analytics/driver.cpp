@@ -1,5 +1,6 @@
 #include "analytics/driver.h"
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -9,24 +10,42 @@
 
 namespace bgpcc::analytics {
 
+const detail::AnyState& ReportSnapshot::state_at(std::size_t index,
+                                                 const void* owner) const {
+  if (data_ == nullptr) {
+    throw ConfigError(
+        "ReportSnapshot: report() on an empty snapshot — take one with "
+        "AnalysisDriver::snapshot()");
+  }
+  if (owner != data_->owner || index >= data_->states.size()) {
+    throw ConfigError(
+        "ReportSnapshot: report() with a handle the snapshotted driver "
+        "did not issue");
+  }
+  return *data_->states[index];
+}
+
 AnalysisDriver::AnalysisDriver() = default;
 AnalysisDriver::~AnalysisDriver() = default;
 
+void AnalysisDriver::throw_finalized(const char* call) const {
+  throw ConfigError(std::string("AnalysisDriver: ") + call +
+                    " after finalization (report()/save_state()) — the "
+                    "per-shard states are already merged; build a fresh "
+                    "driver for a new run");
+}
+
 void AnalysisDriver::ensure_can_add() const {
-  if (!states_.empty() || finalized_) {
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  if (finalized_) throw_finalized("add()");
+  if (!states_.empty()) {
     throw ConfigError(
-        "AnalysisDriver: add() after observation started or after "
-        "report() — register every pass before attach()/sink()/observe(), "
-        "and build a fresh driver for a new run");
+        "AnalysisDriver: add() after observation started — register every "
+        "pass before attach()/sink()/observe()");
   }
 }
 
 void AnalysisDriver::ensure_states() {
-  if (finalized_) {
-    throw ConfigError(
-        "AnalysisDriver: observation after report() — the states are "
-        "already merged");
-  }
   if (!states_.empty()) return;
   states_.resize(shard_slots_);
   for (auto& shard : states_) {
@@ -38,6 +57,8 @@ void AnalysisDriver::ensure_states() {
 }
 
 void AnalysisDriver::attach(core::IngestOptions& options) {
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  if (finalized_) throw_finalized("attach()");
   // The per-shard state matrix must match the engine's shard layout, or
   // observe_shard would index out of range (or worse, silently fold two
   // engine shards into one slot and break session-order fidelity).
@@ -56,19 +77,32 @@ void AnalysisDriver::attach(core::IngestOptions& options) {
                                       records) {
     observe_shard(shard, records);
   };
+  // The committed-window barrier: the engine holds the driver's window
+  // mutex for the whole observer phase of each window, so snapshot()
+  // from another thread lands exactly on a window boundary.
+  options.window_begin = [this] { window_mutex_.lock(); };
+  options.window_commit = [this] { window_mutex_.unlock(); };
 }
 
 std::function<void(core::UpdateRecord&&)> AnalysisDriver::sink() {
-  ensure_states();
+  {
+    std::lock_guard<std::mutex> lock(window_mutex_);
+    if (finalized_) throw_finalized("sink()");
+    ensure_states();
+  }
   return [this](core::UpdateRecord&& record) { observe(record); };
 }
 
 void AnalysisDriver::observe(const core::UpdateRecord& record) {
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  if (finalized_) throw_finalized("observe()");
   ensure_states();
   for (const auto& state : states_[0]) state->observe(record);
 }
 
 void AnalysisDriver::observe_stream(const core::UpdateStream& stream) {
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  if (finalized_) throw_finalized("observe_stream()");
   ensure_states();
   // Pass-major iteration keeps each pass's state hot in cache across the
   // whole stream instead of cycling every state per record.
@@ -83,8 +117,12 @@ void AnalysisDriver::observe_shard(
     std::size_t shard, const std::vector<core::SeqRecord>& records) {
   // Called on the engine's worker threads: one thread per shard index at
   // a time (core::IngestOptions::shard_observer contract), so the
-  // per-shard states need no locking. ensure_states() already ran on the
-  // caller's thread in attach(), before any worker existed.
+  // per-shard states need no locking — and no lock is taken here: the
+  // engine's poll thread holds window_mutex_ for the whole observer
+  // phase (the window_begin/window_commit bracket installed by
+  // attach()), which is what serializes these writes against
+  // snapshot()'s clones. ensure_states() already ran on the caller's
+  // thread in attach(), before any worker existed.
   if (finalized_) {
     // A still-attached IngestOptions reused after report(): the engine's
     // error collector carries this to the ingest caller as the real
@@ -101,15 +139,48 @@ void AnalysisDriver::observe_shard(
   }
 }
 
-void AnalysisDriver::finalize() {
-  if (finalized_) return;
-  ensure_states();  // finalize before any observation: empty states
-  final_ = std::move(states_.front());
-  for (std::size_t s = 1; s < states_.size(); ++s) {
-    for (std::size_t p = 0; p < passes_.size(); ++p) {
-      final_[p]->merge(std::move(*states_[s][p]));
+ReportSnapshot AnalysisDriver::snapshot() {
+  // Phase 1, under the committed-window barrier: clone every per-shard
+  // state. Clones are cheap deep copies (the Pass snapshot contract), so
+  // the lock is held O(state size) — ingestion stalls at the next window
+  // boundary at most that long.
+  std::vector<std::vector<std::unique_ptr<detail::AnyState>>> clones;
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(window_mutex_);
+    if (finalized_) throw_finalized("snapshot()");
+    ensure_states();  // snapshot before any observation: empty states
+    epoch = ++epochs_;
+    clones.reserve(states_.size());
+    for (const auto& shard : states_) {
+      std::vector<std::unique_ptr<detail::AnyState>> copies;
+      copies.reserve(shard.size());
+      for (const auto& state : shard) copies.push_back(state->clone());
+      clones.push_back(std::move(copies));
     }
   }
+  // Phase 2, outside the lock: merge the clones in shard order 0..N-1 —
+  // the exact grouping the legacy finalize used, so a snapshot is
+  // byte-identical to the report() of a run truncated here.
+  auto data = std::make_shared<ReportSnapshot::Data>();
+  data->owner = this;
+  data->epoch = epoch;
+  data->states = std::move(clones.front());
+  for (std::size_t s = 1; s < clones.size(); ++s) {
+    for (std::size_t p = 0; p < passes_.size(); ++p) {
+      data->states[p]->merge(std::move(*clones[s][p]));
+    }
+  }
+  return ReportSnapshot(std::move(data));
+}
+
+void AnalysisDriver::finalize() {
+  if (finalized_) return;
+  // report() IS a snapshot whose result is adopted as the final state —
+  // merge grouping and order are identical, so output bytes are too.
+  ReportSnapshot last = snapshot();
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  final_ = std::move(last);
   states_.clear();
   finalized_ = true;
 }
@@ -121,7 +192,7 @@ const detail::AnyState& AnalysisDriver::finalized_state(std::size_t index,
         "AnalysisDriver: report() with a handle this driver did not issue");
   }
   finalize();
-  return *final_[index];
+  return *final_.data_->states[index];
 }
 
 // ---------------------------------------------------------------------------
@@ -191,13 +262,15 @@ void AnalysisDriver::save_state(std::ostream& out) {
   serialize::Writer w(out);
   serialize::write_block_header(w, serialize::BlockKind::kPartialState);
   write_tags(w);
-  for (const auto& state : final_) write_state_blob(w, *state);
+  for (const auto& state : final_.data_->states) write_state_blob(w, *state);
   out.flush();
   if (!out) throw DecodeError("save_state: output stream failed on flush");
 }
 
 void AnalysisDriver::load_state(std::istream& in) {
-  ensure_states();  // throws ConfigError once finalized
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  if (finalized_) throw_finalized("load_state()");
+  ensure_states();
   serialize::Reader r(in);
   serialize::BlockKind kind = serialize::read_block_header(r);
   if (kind == serialize::BlockKind::kIngestCursor) {
@@ -239,11 +312,14 @@ void AnalysisDriver::checkpoint(std::ostream& out,
 
 void AnalysisDriver::checkpoint_impl(std::ostream& out,
                                      const core::StreamingIngestor* ingestor) {
-  if (finalized_) {
-    throw ConfigError(
-        "AnalysisDriver: checkpoint after report()/save_state() — the "
-        "per-shard states are already merged");
-  }
+  // Checkpoints are taken between poll() calls (the StreamingIngestor
+  // contract), but a snapshot thread may be live concurrently — holding
+  // the barrier serializes against it. Note snapshot() never mutates
+  // states_ and the epoch counter is never serialized, so a checkpoint
+  // taken after any number of snapshots is byte-identical to one taken
+  // on a never-snapshotted run (pinned by snapshot_report_test).
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  if (finalized_) throw_finalized("checkpoint()");
   ensure_states();
   serialize::Writer w(out);
   serialize::write_block_header(w, serialize::BlockKind::kCheckpoint);
@@ -274,11 +350,8 @@ void AnalysisDriver::restore_impl(std::istream& in,
   // the ingestor needs the observer installed at construction. load()
   // replaces each state's evidence wholesale, so only finalization is
   // irrecoverable here; anything observed before restore is discarded.
-  if (finalized_) {
-    throw ConfigError(
-        "AnalysisDriver: restore after report()/save_state() — construct "
-        "a fresh driver, register the same passes, then restore");
-  }
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  if (finalized_) throw_finalized("restore()");
   serialize::Reader r(in);
   serialize::read_block_header(r, serialize::BlockKind::kCheckpoint);
   check_tags(r);

@@ -25,13 +25,30 @@
 //   driver.attach(options);                      // inline mode
 //   auto result = core::ingest_mrt_files(archives, options);
 //   auto shares = driver.report(types);          // merged + projected
+//
+// Epoch reporting: snapshot() produces the same projections WITHOUT
+// finalizing — it clones every per-shard state under the
+// committed-window barrier (attach() wires the engine's
+// window_begin/window_commit callbacks to the driver's window mutex, so
+// a snapshot never observes a half-applied window or the pipelined N+1
+// prefetch) and merges the clones off to the side. Ingestion keeps
+// running; each snapshot is an immutable, epoch-numbered view:
+//
+//   while (ingestor.poll()) {
+//     analytics::ReportSnapshot snap = driver.snapshot();
+//     serve(snap.epoch(), snap.report(types));   // live view
+//   }
+//   ingestor.finish();
+//   auto final_shares = driver.report(types);    // byte-identical finale
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +56,57 @@
 #include "core/ingest.h"
 
 namespace bgpcc::analytics {
+
+/// An immutable, epoch-numbered view of every pass's state at one
+/// committed-window boundary, produced by AnalysisDriver::snapshot()
+/// without finalizing the driver. Redeem the same PassHandles issued by
+/// add(); reads are lock-free and the snapshot stays valid after
+/// further ingestion, after later snapshots, after report(), and even
+/// after the issuing driver is destroyed (the merged states are owned
+/// by the snapshot, shared across copies).
+class ReportSnapshot {
+ public:
+  /// An empty snapshot (no driver); report() on it throws ConfigError.
+  ReportSnapshot() = default;
+
+  /// Projects `handle`'s pass report from the snapshotted state. The
+  /// handle must come from the driver that took this snapshot
+  /// (ConfigError otherwise, as for AnalysisDriver::report).
+  template <Pass P>
+  [[nodiscard]] ReportOf<P> report(PassHandle<P> handle) const {
+    const detail::AnyState& state = state_at(handle.index_, handle.owner_);
+    return static_cast<const detail::StateModel<P>&>(state).state().report();
+  }
+
+  /// The snapshot's epoch: 1 for the issuing driver's first snapshot,
+  /// strictly increasing per driver. 0 for an empty snapshot. Epochs
+  /// are process-local bookkeeping — they are never serialized and do
+  /// not affect checkpoints or reports.
+  [[nodiscard]] std::uint64_t epoch() const {
+    return data_ != nullptr ? data_->epoch : 0;
+  }
+
+  /// Number of pass states captured (the issuing driver's size()).
+  [[nodiscard]] std::size_t size() const {
+    return data_ != nullptr ? data_->states.size() : 0;
+  }
+
+  /// True when this snapshot holds states (i.e. is not default-built).
+  [[nodiscard]] explicit operator bool() const { return data_ != nullptr; }
+
+ private:
+  friend class AnalysisDriver;
+  struct Data {
+    const void* owner = nullptr;
+    std::uint64_t epoch = 0;
+    std::vector<std::unique_ptr<detail::AnyState>> states;
+  };
+  explicit ReportSnapshot(std::shared_ptr<const Data> data)
+      : data_(std::move(data)) {}
+  [[nodiscard]] const detail::AnyState& state_at(std::size_t index,
+                                                 const void* owner) const;
+  std::shared_ptr<const Data> data_;
+};
 
 /// Runs any set of Passes over the cleaned update stream in one
 /// traversal — inline on the shard workers, as a streaming sink, or over
@@ -70,10 +138,14 @@ class AnalysisDriver {
   /// Inline mode: installs this driver's per-shard observer into
   /// `options` (see core::IngestOptions::shard_observer) and sizes the
   /// shard states to `options`' resolved shard count
-  /// (core::resolve_shard_count). The driver must outlive every
-  /// ingestion run using `options`. May be combined with further
-  /// ingestion runs — states accumulate until report() — but every run
-  /// must resolve to the same shard count (ConfigError otherwise).
+  /// (core::resolve_shard_count). Also wires the engine's
+  /// committed-window barrier (core::IngestOptions::window_begin /
+  /// window_commit) to this driver, so snapshot() from any thread
+  /// serializes against in-flight window observation. The driver must
+  /// outlive every ingestion run using `options`. May be combined with
+  /// further ingestion runs — states accumulate until report() — but
+  /// every run must resolve to the same shard count (ConfigError
+  /// otherwise).
   void attach(core::IngestOptions& options);
 
   /// Sink mode: a callback for StreamingIngestor::finish(sink) observing
@@ -88,10 +160,25 @@ class AnalysisDriver {
   /// Observes a whole materialized stream (simulator output, tests).
   void observe_stream(const core::UpdateStream& stream);
 
+  /// Takes an immutable, epoch-numbered snapshot of every pass's state
+  /// WITHOUT finalizing: clones all per-shard states under the
+  /// committed-window barrier, then merges the clones off to the side
+  /// (the driver's own states are never touched beyond the copy).
+  /// Ingestion may continue afterwards; the snapshot equals what
+  /// report() would return on an independent run truncated at the same
+  /// committed window, byte for byte. Safe to call from a thread other
+  /// than the ingesting one when the driver is attach()ed — the barrier
+  /// guarantees the snapshot lands exactly on a window boundary, never
+  /// inside a half-applied window or the pipelined N+1 prefetch.
+  /// Throws ConfigError once finalized.
+  [[nodiscard]] ReportSnapshot snapshot();
+
   /// Merges all partial states and projects the pass's report. The first
-  /// report() call finalizes the driver: further observation throws
-  /// ConfigError (the merged states can no longer absorb records);
-  /// reports stay redeemable any number of times.
+  /// report() call finalizes the driver — internally a snapshot() whose
+  /// result is adopted as the final state, so report-after-snapshots is
+  /// byte-identical to report-without-snapshots. Further observation
+  /// throws ConfigError (the merged states can no longer absorb
+  /// records); reports stay redeemable any number of times.
   template <Pass P>
   [[nodiscard]] ReportOf<P> report(PassHandle<P> handle) {
     const detail::AnyState& state =
@@ -151,10 +238,15 @@ class AnalysisDriver {
 
  private:
   void ensure_can_add() const;
+  /// Mints the per-shard state matrix if absent. Caller must hold
+  /// window_mutex_ (or be in the single-threaded registration phase) and
+  /// must have rejected the finalized case already.
   void ensure_states();
   void observe_shard(std::size_t shard,
                      const std::vector<core::SeqRecord>& records);
-  /// Merges all shard states into final_ (idempotent).
+  /// Uniform use-after-finalize error, naming the offending call.
+  [[noreturn]] void throw_finalized(const char* call) const;
+  /// Adopts a final snapshot and clears the live states (idempotent).
   void finalize();
   [[nodiscard]] const detail::AnyState& finalized_state(std::size_t index,
                                                         const void* owner);
@@ -174,7 +266,16 @@ class AnalysisDriver {
   /// (any partition of the observations merges to the same final state —
   /// the Pass contract).
   std::vector<std::vector<std::unique_ptr<detail::AnyState>>> states_;
-  std::vector<std::unique_ptr<detail::AnyState>> final_;
+  /// The committed-window barrier: held by the engine for the whole
+  /// observer phase of each window (attach() wires window_begin /
+  /// window_commit to lock/unlock), by snapshot() while cloning, and by
+  /// the sink/observe paths while folding records in. Everything the
+  /// barrier guards is the states_ matrix + the lifecycle flags.
+  mutable std::mutex window_mutex_;
+  /// Epochs handed out by snapshot(); process-local, never serialized.
+  std::uint64_t epochs_ = 0;
+  /// The finalizing snapshot adopted by the first report()/save_state().
+  ReportSnapshot final_;
   bool finalized_ = false;
 };
 

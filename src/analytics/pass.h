@@ -19,6 +19,15 @@
 // equals final stream order, so any pass honoring the contract reports
 // identically for 1 thread, N threads, any window size, inline or sink —
 // analytics_test asserts exactly that for every shipped pass.
+//
+// Snapshot contract: State must additionally be copy-constructible, and
+// the copy must be a faithful, independent deep copy — epoch reporting
+// (AnalysisDriver::snapshot) clones every per-shard state and merges the
+// clones, so copying must neither share mutable structure with nor
+// perturb the original. Value-semantic members (maps, vectors, sets,
+// counters) get this for free; keep copies cheap (O(state size), no
+// I/O), because a clone runs under the committed-window barrier while
+// ingestion waits.
 #pragma once
 
 #include <concepts>
@@ -37,9 +46,13 @@ class Reader;
 }  // namespace serialize
 
 /// The compile-time shape of an analysis pass (see the header comment
-/// for the semantic contract the types must honor).
+/// for the semantic contract the types must honor). The State must be
+/// copy-constructible: AnalysisDriver::snapshot clones per-shard states
+/// to build an epoch report without finalizing — the copy must be a
+/// cheap, faithful deep copy (see the snapshot contract above).
 template <typename P>
 concept Pass = std::move_constructible<P> &&
+    std::copy_constructible<typename P::State> &&
     requires(const P& pass, typename P::State& state, typename P::State&& tmp,
              const core::UpdateRecord& record) {
       { pass.make_state() } -> std::same_as<typename P::State>;
@@ -87,6 +100,11 @@ class AnyState {
   /// Restores a freshly minted state from the wire codec; ConfigError
   /// when the pass does not model SerializablePass.
   virtual void load(serialize::Reader& reader) = 0;
+  /// Deep-copies the state (the Pass concept requires copy-constructible
+  /// States). Epoch reporting clones every per-shard state under the
+  /// committed-window barrier and merges the clones, leaving the
+  /// originals untouched.
+  [[nodiscard]] virtual std::unique_ptr<AnyState> clone() const = 0;
 };
 
 /// Type-erased pass: a state factory.
@@ -129,6 +147,9 @@ class StateModel final : public AnyState {
           "kStateTag + save()/load() (analytics/serialize.h) to restore");
     }
   }
+  [[nodiscard]] std::unique_ptr<AnyState> clone() const override {
+    return std::make_unique<StateModel>(typename P::State(state_));
+  }
   [[nodiscard]] const typename P::State& state() const { return state_; }
 
  private:
@@ -159,9 +180,10 @@ class PassModel final : public AnyPass {
 }  // namespace detail
 
 /// Typed ticket returned by AnalysisDriver::add: redeem with
-/// AnalysisDriver::report after ingestion. Valid only for the driver
-/// that issued it (stamped with the issuer; a foreign handle throws
-/// ConfigError instead of reading the wrong pass's state).
+/// AnalysisDriver::report after ingestion, or against any
+/// ReportSnapshot taken from the issuing driver. Valid only for the
+/// driver that issued it (stamped with the issuer; a foreign handle
+/// throws ConfigError instead of reading the wrong pass's state).
 template <Pass P>
 class PassHandle {
  public:
@@ -170,6 +192,7 @@ class PassHandle {
 
  private:
   friend class AnalysisDriver;
+  friend class ReportSnapshot;
   PassHandle(std::size_t index, const void* owner)
       : index_(index), owner_(owner) {}
   std::size_t index_ = static_cast<std::size_t>(-1);

@@ -5,6 +5,15 @@
 // Pass contract (pass.h): state depends only on the record multiset and
 // per-session order, so inline-parallel, streaming-sink, and
 // materialized execution report identically.
+//
+// All nine States also honor the snapshot contract (pass.h): every
+// member is value-semantic (std::map / unordered_set / vector /
+// optional over core evidence structs that are themselves plain value
+// containers), so the implicit copy constructor is a faithful deep copy
+// with no shared mutable structure, and its cost is linear in the
+// evidence size — each State's doc comment below states that bound.
+// That is what lets AnalysisDriver::snapshot clone shard states under
+// the committed-window barrier without stalling ingestion.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +51,8 @@ class ClassifierPass {
   };
 
   /// Per-shard classifier state (see the Pass contract in pass.h).
+  /// Copy cost (snapshot contract): O(streams) — one map entry per
+  /// (session, prefix) stream plus fixed counters.
   class State {
    public:
     /// Classifies one cleaned record into its announcement type.
@@ -87,6 +98,8 @@ class PerSessionTypesPass {
   using Report = std::vector<std::pair<core::SessionKey, core::TypeCounts>>;
 
   /// Per-shard map of session → classifier (see pass.h for the contract).
+  /// Copy cost (snapshot contract): O(sessions + streams) — one
+  /// classifier per session, each holding its streams' cursors.
   class State {
    public:
     /// Binds the state to the pass's optional prefix filter.
@@ -136,6 +149,8 @@ class TomographyPass {
   using Report = std::vector<core::AsEvidence>;
 
   /// Per-shard evidence counters (see pass.h for the contract).
+  /// Copy cost (snapshot contract): O(ASes) — one fixed-size evidence
+  /// struct per observed AS.
   class State {
    public:
     /// Binds the state to the pass's thresholds.
@@ -229,6 +244,8 @@ class CommunityStatsPass {
   };
 
   /// Per-shard value set + histogram (see pass.h for the contract).
+  /// Copy cost (snapshot contract): O(distinct community values) plus
+  /// the fixed-size histogram.
   class State {
    public:
     /// Sizes the histogram to the pass's configured bucket count.
@@ -328,6 +345,8 @@ class DuplicateBurstPass {
   };
 
   /// Per-shard run cursors + per-session tallies (see pass.h).
+  /// Copy cost (snapshot contract): O(streams + sessions) — per-stream
+  /// attribute cursors (AS path + communities) and per-session tallies.
   class State {
    public:
     /// Binds the state to the pass's burst threshold.
@@ -393,6 +412,8 @@ class AnomalyPass {
   using Report = core::AnomalyReport;
 
   /// Per-shard anomaly evidence (see pass.h for the contract).
+  /// Copy cost (snapshot contract): O(sessions + streams + novelty
+  /// buckets) — per-session classifiers plus the bucketed novelty map.
   class State {
    public:
     /// Binds the state to the pass's detection thresholds.
@@ -448,6 +469,8 @@ class RevealedPass {
   using Report = core::RevealedStats;
 
   /// Per-shard phase buckets (see pass.h for the contract).
+  /// Copy cost (snapshot contract): O(distinct attribute values) — one
+  /// phase bitmask per observed CommunitySet value.
   class State {
    public:
     /// Binds the state to the pass's beacon schedule.
@@ -506,6 +529,7 @@ class ExplorationPass {
   using Report = std::vector<core::ExplorationEvent>;
 
   /// Per-shard run cursors + completed events (see pass.h).
+  /// Copy cost (snapshot contract): O(active runs + completed events).
   class State {
    public:
     /// Binds the state to the pass's beacon schedule.
@@ -558,6 +582,8 @@ class UsageClassificationPass {
   using Report = std::vector<core::AsUsage>;
 
   /// Per-shard usage evidence (see pass.h for the contract).
+  /// Copy cost (snapshot contract): O(distinct values + namespaces) —
+  /// per-value occurrence counts and per-namespace session sets.
   class State {
    public:
     /// Binds the state to the pass's heuristic knobs.

@@ -302,6 +302,19 @@ void gather_and_clean(std::vector<DecodedChunk>& decoded,
                       CleaningReport& report) {
   shards.assign(shard_count, {});
   std::vector<CleaningReport> reports(shard_count);
+  // Committed-window barrier (IngestOptions::window_begin): held across
+  // the whole shard-clean + observer phase, RAII so a throwing shard job
+  // still commits. Covers both the windowed path (process_window) and
+  // the batch path (finish_engine) — each batch run is one window.
+  struct WindowBracket {
+    const IngestOptions& opt;
+    explicit WindowBracket(const IngestOptions& o) : opt(o) {
+      if (opt.window_begin) opt.window_begin();
+    }
+    ~WindowBracket() {
+      if (opt.window_commit) opt.window_commit();
+    }
+  } bracket(options);
   run_parallel(pool, shard_count, [&](std::size_t s) {
     std::size_t total = 0;
     for (const DecodedChunk& chunk : decoded) total += chunk.shards[s].size();

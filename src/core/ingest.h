@@ -142,6 +142,19 @@ struct IngestOptions {
   /// on cross-session ordering (the analytics::Pass contract).
   std::function<void(std::size_t shard, const std::vector<SeqRecord>&)>
       shard_observer;
+  /// Optional committed-window barrier, paired with shard_observer
+  /// (analytics::AnalysisDriver::attach wires both). window_begin is
+  /// invoked on the engine's polling thread immediately before a
+  /// window's shard-clean + observer phase (a batch run counts as one
+  /// window); window_commit when that phase ends — RAII-bracketed, so a
+  /// throwing window still commits. Everything between the two calls is
+  /// a half-applied window: an external thread that waits out the
+  /// bracket (e.g. by locking the same mutex) observes only fully
+  /// committed windows — and never the pipelined N+1 prefetch, which
+  /// only frames and decodes and thus fires no observers.
+  std::function<void()> window_begin;
+  /// See window_begin.
+  std::function<void()> window_commit;
 };
 
 /// The shard count an engine built from `options` will use: an explicit
