@@ -14,6 +14,7 @@
 #include "core/registry.h"
 #include "mrt/mrt.h"
 #include "mrt/source.h"
+#include "obs/metrics.h"
 #include "rib/decision.h"
 #include "rib/trie.h"
 
@@ -389,6 +390,55 @@ void BM_AnalyzeInline(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_AnalyzeInline)->Arg(1)->Arg(4)->UseRealTime();
+
+// The obs layer's whole-pipeline price: the BM_AnalyzeInline workload
+// (windowed, so every instrumented stage runs) with the metrics timing
+// gate off (arg1 = 0, the default for any run without a --metrics
+// sink) versus on (arg1 = 1). Off prices the always-on relaxed counter
+// increments against the uninstrumented baseline in the BENCH_*.json
+// trajectory; the off/on delta prices the StageTimer clock reads.
+void BM_MetricsOverhead(benchmark::State& state) {
+  static const std::string archive = synthetic_ingest_archive(64, 256);
+  core::Registry registry = ingest_bench_registry();
+  core::CleaningOptions cleaning;
+  cleaning.registry = &registry;
+  const bool metrics_on = state.range(1) != 0;
+  obs::set_enabled(metrics_on);
+  std::size_t records = 0;
+  for (auto _ : state) {
+    analytics::AnalysisDriver driver;
+    auto types = driver.add(analytics::ClassifierPass{});
+    auto tomography = driver.add(analytics::TomographyPass{});
+    auto communities = driver.add(analytics::CommunityStatsPass{});
+    auto duplicates = driver.add(analytics::DuplicateBurstPass{});
+    core::IngestOptions options;
+    options.num_threads = static_cast<unsigned>(state.range(0));
+    options.chunk_records = 1024;
+    options.window_records = 4096;
+    options.cleaning = &cleaning;
+    driver.attach(options);
+    std::istringstream in(archive);
+    core::StreamingIngestor engine(options);
+    engine.add_stream("bench", in);
+    core::IngestResult result = engine.finish();
+    records = result.stats.records;
+    benchmark::DoNotOptimize(driver.report(types));
+    benchmark::DoNotOptimize(driver.report(tomography));
+    benchmark::DoNotOptimize(driver.report(communities));
+    benchmark::DoNotOptimize(driver.report(duplicates));
+  }
+  obs::set_enabled(false);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["metrics"] = metrics_on ? 1.0 : 0.0;
+}
+BENCHMARK(BM_MetricsOverhead)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->UseRealTime();
 
 // Same pass set through the streaming-sink mode: records observed in
 // final merged order on one thread, no materialized stream — the

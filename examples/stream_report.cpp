@@ -16,7 +16,7 @@
 //       Batch: ingest everything, then print the nine-section report
 //       once from the finalizing report().
 //
-//   ./stream_report --follow [--interval-ms N]
+//   ./stream_report --follow [--interval-ms N] [--metrics <path|->]
 //       Live serving: the collector logs are written as a rotated dump
 //       series (the 5-/15-minute files real collectors publish), and
 //       the ingestion loop discovers one new dump per collector per
@@ -25,11 +25,26 @@
 //       it takes a non-finalizing AnalysisDriver::snapshot() and
 //       re-emits the full nine-section report for that epoch; the final
 //       finish() + report() is byte-identical to the batch run.
+//
+// Metrics export (the obs layer): --metrics <path|-> enables stage
+// timing and dumps the pipeline metric registry — Prometheus text
+// format (or JSON when the path ends in .json) — once per epoch in
+// --follow mode and once at the end of every run. Counters are
+// cumulative, so successive per-epoch dumps diff into per-epoch deltas
+// exactly like successive Prometheus scrapes. --metrics-interval-ms N
+// additionally refreshes a file target every N ms from a background
+// thread while ingestion runs.
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +53,7 @@
 #include "analytics/passes.h"
 #include "core/tables.h"
 #include "mrt/source.h"
+#include "obs/metrics.h"
 #include "synth/beacon_internet.h"
 
 using namespace bgpcc;
@@ -199,21 +215,104 @@ void print_report(const Reports& r) {
               usage_table.to_string().c_str());
 }
 
+/// Renders the global metric registry to the --metrics target: "-" is
+/// stdout (always Prometheus text), a path ending in .json gets the
+/// JSON rendering, anything else the Prometheus text format. File
+/// targets are rewritten whole on every emit, like a scrape endpoint.
+class MetricsEmitter {
+ public:
+  explicit MetricsEmitter(std::string target)
+      : target_(std::move(target)),
+        json_(target_.size() > 5 &&
+              target_.compare(target_.size() - 5, 5, ".json") == 0) {}
+
+  void emit() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (target_ == "-") {
+      obs::render_prometheus(std::cout);
+      std::cout.flush();
+      return;
+    }
+    std::ofstream out(target_, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "stream_report: cannot write metrics to %s\n",
+                   target_.c_str());
+      return;
+    }
+    if (json_) {
+      obs::render_json(out);
+    } else {
+      obs::render_prometheus(out);
+    }
+  }
+
+  /// Refreshes a file target every `period_ms` until stop() — the
+  /// "live scrape file" mode. stdout targets stay epoch-driven so the
+  /// report text is not interleaved mid-line.
+  void start_periodic(long period_ms) {
+    if (period_ms <= 0 || target_ == "-") return;
+    ticker_ = std::thread([this, period_ms] {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      while (!stop_cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                                [this] { return stopped_; })) {
+        emit();
+      }
+    });
+  }
+
+  void stop() {
+    if (!ticker_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(stop_mutex_);
+      stopped_ = true;
+    }
+    stop_cv_.notify_all();
+    ticker_.join();
+  }
+
+  ~MetricsEmitter() { stop(); }
+
+ private:
+  std::string target_;
+  bool json_;
+  std::mutex mutex_;  // emit() runs from the ticker and the main thread
+  std::thread ticker_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopped_ = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool follow = false;
   long interval_ms = 0;
+  std::string metrics_target;
+  long metrics_interval_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--follow") == 0) {
       follow = true;
     } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
       interval_ms = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_target = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-interval-ms") == 0 &&
+               i + 1 < argc) {
+      metrics_interval_ms = std::strtol(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--follow] [--interval-ms N]\n", argv[0]);
+                   "usage: %s [--follow] [--interval-ms N] "
+                   "[--metrics <path|->] [--metrics-interval-ms N]\n",
+                   argv[0]);
       return 2;
     }
+  }
+
+  std::unique_ptr<MetricsEmitter> metrics;
+  if (!metrics_target.empty()) {
+    obs::set_enabled(true);  // turn on stage-timing clock reads
+    metrics = std::make_unique<MetricsEmitter>(metrics_target);
+    metrics->start_periodic(metrics_interval_ms);
   }
 
   // 1. Simulate a day and write compressed collector archives. In
@@ -290,6 +389,11 @@ int main(int argc, char** argv) {
                   static_cast<std::uintmax_t>(snap.epoch()),
                   core::with_commas(ingestor.stats().raw_records).c_str());
       print_report(collect(snap, handles));
+      if (metrics) {
+        std::printf("\n----- epoch %ju metrics -----\n",
+                    static_cast<std::uintmax_t>(snap.epoch()));
+        metrics->emit();
+      }
       if (interval_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
       }
@@ -316,6 +420,16 @@ int main(int argc, char** argv) {
               result.stats.raw_records, cleaned, result.stats.windows,
               result.stats.threads);
   print_report(collect_final(driver, handles));
+
+  if (metrics) {
+    metrics->stop();  // final emit below supersedes the periodic file
+    if (metrics_target != "-") {
+      std::printf("\nwrote metrics to %s\n", metrics_target.c_str());
+    } else {
+      std::printf("\n----- final metrics -----\n");
+    }
+    metrics->emit();
+  }
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);

@@ -7,6 +7,7 @@
 
 #include "analytics/serialize.h"
 #include "netbase/error.h"
+#include "obs/pipeline_metrics.h"
 
 namespace bgpcc::analytics {
 
@@ -131,6 +132,7 @@ void AnalysisDriver::observe_shard(
         "AnalysisDriver: ingestion observed through attached options "
         "after report() — attach a fresh driver per run");
   }
+  obs::pipeline_metrics().analysis_observe_records->inc(records.size());
   std::vector<std::unique_ptr<detail::AnyState>>& slot = states_.at(shard);
   for (const auto& state : slot) {
     for (const core::SeqRecord& sr : records) {
@@ -140,6 +142,9 @@ void AnalysisDriver::observe_shard(
 }
 
 ReportSnapshot AnalysisDriver::snapshot() {
+  const obs::PipelineMetrics& metrics = obs::pipeline_metrics();
+  obs::StageTimer snapshot_timer(metrics.analysis_snapshot);
+  metrics.analysis_snapshots->inc();
   // Phase 1, under the committed-window barrier: clone every per-shard
   // state. Clones are cheap deep copies (the Pass snapshot contract), so
   // the lock is held O(state size) — ingestion stalls at the next window
@@ -147,6 +152,7 @@ ReportSnapshot AnalysisDriver::snapshot() {
   std::vector<std::vector<std::unique_ptr<detail::AnyState>>> clones;
   std::uint64_t epoch = 0;
   {
+    obs::StageTimer clone_timer(metrics.analysis_snapshot_clone);
     std::lock_guard<std::mutex> lock(window_mutex_);
     if (finalized_) throw_finalized("snapshot()");
     ensure_states();  // snapshot before any observation: empty states
@@ -159,6 +165,7 @@ ReportSnapshot AnalysisDriver::snapshot() {
       clones.push_back(std::move(copies));
     }
   }
+  metrics.analysis_epoch->set(static_cast<std::int64_t>(epoch));
   // Phase 2, outside the lock: merge the clones in shard order 0..N-1 —
   // the exact grouping the legacy finalize used, so a snapshot is
   // byte-identical to the report() of a run truncated here.
@@ -166,9 +173,20 @@ ReportSnapshot AnalysisDriver::snapshot() {
   data->owner = this;
   data->epoch = epoch;
   data->states = std::move(clones.front());
-  for (std::size_t s = 1; s < clones.size(); ++s) {
-    for (std::size_t p = 0; p < passes_.size(); ++p) {
-      data->states[p]->merge(std::move(*clones[s][p]));
+  {
+    obs::StageTimer merge_timer(metrics.analysis_snapshot_merge);
+    std::vector<obs::Histogram*> pass_hist;
+    if (obs::enabled()) {
+      pass_hist.reserve(passes_.size());
+      for (std::size_t p = 0; p < passes_.size(); ++p) {
+        pass_hist.push_back(&obs::pass_merge_histogram(p));
+      }
+    }
+    for (std::size_t s = 1; s < clones.size(); ++s) {
+      for (std::size_t p = 0; p < passes_.size(); ++p) {
+        obs::StageTimer pass_timer(pass_hist.empty() ? nullptr : pass_hist[p]);
+        data->states[p]->merge(std::move(*clones[s][p]));
+      }
     }
   }
   return ReportSnapshot(std::move(data));
@@ -268,6 +286,7 @@ void AnalysisDriver::save_state(std::ostream& out) {
 }
 
 void AnalysisDriver::load_state(std::istream& in) {
+  obs::StageTimer merge_timer(obs::pipeline_metrics().analysis_merge);
   std::lock_guard<std::mutex> lock(window_mutex_);
   if (finalized_) throw_finalized("load_state()");
   ensure_states();
@@ -312,6 +331,8 @@ void AnalysisDriver::checkpoint(std::ostream& out,
 
 void AnalysisDriver::checkpoint_impl(std::ostream& out,
                                      const core::StreamingIngestor* ingestor) {
+  obs::StageTimer checkpoint_timer(
+      obs::pipeline_metrics().analysis_checkpoint);
   // Checkpoints are taken between poll() calls (the StreamingIngestor
   // contract), but a snapshot thread may be live concurrently — holding
   // the barrier serializes against it. Note snapshot() never mutates
@@ -345,6 +366,7 @@ void AnalysisDriver::restore(std::istream& in,
 
 void AnalysisDriver::restore_impl(std::istream& in,
                                   core::StreamingIngestor* ingestor) {
+  obs::StageTimer restore_timer(obs::pipeline_metrics().analysis_restore);
   // attach() may legitimately have minted the (empty) shard states
   // already — restore after attach is the documented resume order, since
   // the ingestor needs the observer installed at construction. load()

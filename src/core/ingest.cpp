@@ -26,6 +26,7 @@
 #include "mrt/source.h"
 #include "netbase/bytes.h"
 #include "netbase/error.h"
+#include "obs/pipeline_metrics.h"
 
 namespace bgpcc::core {
 namespace {
@@ -130,6 +131,10 @@ bool is_bgp4mp_message(const mrt::Record& record) {
 DecodedChunk decode_mrt_chunk(const std::string& collector,
                               FramedChunk&& framed,
                               std::size_t shard_count) {
+  const obs::PipelineMetrics& metrics = obs::pipeline_metrics();
+  obs::StageTimer decode_timer(metrics.ingest_decode);
+  metrics.ingest_chunks->inc();
+  metrics.ingest_raw_records->inc(framed.records.size());
   DecodedChunk out(shard_count);
   out.file = framed.file;
   out.chunk = framed.chunk;
@@ -156,6 +161,8 @@ DecodedChunk decode_mrt_chunk(const std::string& collector,
   // decoded-records + the whole raw archive.
   framed.records.clear();
   framed.records.shrink_to_fit();
+  metrics.ingest_update_messages->inc(out.update_messages);
+  metrics.ingest_records->inc(out.records);
   return out;
 }
 
@@ -235,6 +242,7 @@ constexpr std::size_t kMinRecordsPerMergePartition = 1024;
 template <typename Out>
 void parallel_merge(std::vector<std::vector<SeqRecord>>& shards, bool by_time,
                     WorkerPool* pool, unsigned threads, std::vector<Out>& out) {
+  obs::StageTimer merge_timer(obs::pipeline_metrics().ingest_merge);
   bool (*cmp)(const SeqRecord&, const SeqRecord&) =
       by_time ? &seq_time_order : &seq_only_order;
 
@@ -315,26 +323,33 @@ void gather_and_clean(std::vector<DecodedChunk>& decoded,
       if (opt.window_commit) opt.window_commit();
     }
   } bracket(options);
+  const obs::PipelineMetrics& metrics = obs::pipeline_metrics();
   run_parallel(pool, shard_count, [&](std::size_t s) {
-    std::size_t total = 0;
-    for (const DecodedChunk& chunk : decoded) total += chunk.shards[s].size();
-    shards[s].reserve(total);
-    for (DecodedChunk& chunk : decoded) {
-      std::vector<SeqRecord>& bucket = chunk.shards[s];
-      std::move(bucket.begin(), bucket.end(), std::back_inserter(shards[s]));
-      bucket.clear();
+    {
+      obs::StageTimer clean_timer(metrics.ingest_clean);
+      std::size_t total = 0;
+      for (const DecodedChunk& chunk : decoded) {
+        total += chunk.shards[s].size();
+      }
+      shards[s].reserve(total);
+      for (DecodedChunk& chunk : decoded) {
+        std::vector<SeqRecord>& bucket = chunk.shards[s];
+        std::move(bucket.begin(), bucket.end(), std::back_inserter(shards[s]));
+        bucket.clear();
+      }
+      if (options.cleaning != nullptr) {
+        sort_seq_records(shards[s]);
+        reports[s] = cleaning::run(shards[s], *options.cleaning,
+                                   carry != nullptr ? &(*carry)[s] : nullptr);
+      }
+      // Establish final merge order once per shard (cleaning can perturb
+      // (time, seq) order: sub-second spacing moves stamps forward); both
+      // the observer and parallel_merge consume it.
+      std::sort(shards[s].begin(), shards[s].end(),
+                options.sort_by_time ? &seq_time_order : &seq_only_order);
     }
-    if (options.cleaning != nullptr) {
-      sort_seq_records(shards[s]);
-      reports[s] = cleaning::run(shards[s], *options.cleaning,
-                                 carry != nullptr ? &(*carry)[s] : nullptr);
-    }
-    // Establish final merge order once per shard (cleaning can perturb
-    // (time, seq) order: sub-second spacing moves stamps forward); both
-    // the observer and parallel_merge consume it.
-    std::sort(shards[s].begin(), shards[s].end(),
-              options.sort_by_time ? &seq_time_order : &seq_only_order);
     if (options.shard_observer && !shards[s].empty()) {
+      obs::StageTimer observe_timer(metrics.ingest_observe);
       options.shard_observer(s, shards[s]);
     }
   });
@@ -356,6 +371,7 @@ void finish_engine(std::vector<DecodedChunk>& decoded,
   result.stats.threads = threads;
   result.stats.chunks = decoded.size();
   result.stats.windows = 1;
+  obs::pipeline_metrics().ingest_windows->inc();
   for (const DecodedChunk& chunk : decoded) {
     result.stats.update_messages += chunk.update_messages;
     result.stats.records += chunk.records;
@@ -599,6 +615,9 @@ class RunStore {
       memory_.push_back(std::move(run));
       return;
     }
+    const obs::PipelineMetrics& metrics = obs::pipeline_metrics();
+    obs::StageTimer spill_timer(metrics.ingest_spill);
+    metrics.ingest_spilled_runs->inc();
     std::filesystem::create_directories(dir_);
     // Random token + store address + index: several processes (and
     // several stores in one process) can share a spill_dir without
@@ -633,6 +652,7 @@ class RunStore {
   /// holding one record per run in memory. Consumes the store.
   void merge(bool by_time,
              const std::function<void(UpdateRecord&&)>& emit) {
+    obs::StageTimer run_merge_timer(obs::pipeline_metrics().ingest_run_merge);
     bool (*cmp)(const SeqRecord&, const SeqRecord&) =
         by_time ? &seq_time_order : &seq_only_order;
     std::vector<std::unique_ptr<RunCursor>> cursors;
@@ -755,7 +775,6 @@ struct StreamingIngestor::Impl {
         // runs everything inline with no pool at all.
         pool(threads > 1 ? std::make_unique<WorkerPool>(threads - 1)
                          : nullptr) {
-    stats.files = 0;
     stats.shards = shard_count;
     stats.threads = threads;
   }
@@ -806,10 +825,17 @@ struct StreamingIngestor::Impl {
   /// sink return (queue abort) stops framing early.
   std::size_t frame_window(std::size_t budget,
                            const std::function<bool(FramedChunk&&)>& sink) {
+    const obs::PipelineMetrics& metrics = obs::pipeline_metrics();
     std::size_t framed = 0;
     while (framed < budget) {
-      if (!ensure_reader()) break;
-      std::optional<std::vector<mrt::Record>> chunk = reader->next_chunk();
+      std::optional<std::vector<mrt::Record>> chunk;
+      {
+        // Times only the framing read itself — the sink below blocks on
+        // decode slots, which would otherwise dominate the stage.
+        obs::StageTimer frame_timer(metrics.ingest_frame);
+        if (!ensure_reader()) break;
+        chunk = reader->next_chunk();
+      }
       if (!chunk) {
         input.reset();  // EOF: advance to the next source
         continue;
@@ -867,23 +893,30 @@ struct StreamingIngestor::Impl {
   }
 
   void submit_decode(WindowDecode& w, FramedChunk&& chunk) {
+    const obs::PipelineMetrics& metrics = obs::pipeline_metrics();
     {
       std::lock_guard<std::mutex> lock(w.mutex);
       ++w.in_flight;
     }
-    pool->submit(w.group, [this, &w, chunk = std::move(chunk)]() mutable {
+    metrics.ingest_decode_in_flight->add();
+    pool->submit(w.group, [this, &w, &metrics,
+                           chunk = std::move(chunk)]() mutable {
       try {
         DecodedChunk out = decode_mrt_chunk(sources[chunk.file].collector,
                                             std::move(chunk), shard_count);
-        std::lock_guard<std::mutex> lock(w.mutex);
-        w.decoded.push_back(std::move(out));
-        --w.in_flight;
+        {
+          std::lock_guard<std::mutex> lock(w.mutex);
+          w.decoded.push_back(std::move(out));
+          --w.in_flight;
+        }
+        metrics.ingest_decode_in_flight->sub();
         w.slot_free.notify_all();
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(w.mutex);
           --w.in_flight;
         }
+        metrics.ingest_decode_in_flight->sub();
         w.slot_free.notify_all();
         throw;  // the pool records it and fails the group
       }
@@ -923,6 +956,9 @@ struct StreamingIngestor::Impl {
   std::unique_ptr<WindowDecode> take_window(std::size_t budget) {
     if (prefetch != nullptr) {
       std::unique_ptr<WindowDecode> w = std::move(prefetch);
+      // Overlap accounting: ~0 here means the prefetched window was
+      // already done when the current one finished (perfect pipelining).
+      obs::StageTimer wait_timer(obs::pipeline_metrics().ingest_prefetch_wait);
       pool->wait(w->group);
       return w;
     }
@@ -978,6 +1014,8 @@ struct StreamingIngestor::Impl {
 
   /// Processes one window end to end; false when the input is exhausted.
   bool process_window() {
+    const obs::PipelineMetrics& metrics = obs::pipeline_metrics();
+    obs::StageTimer window_timer(metrics.ingest_window);
     const std::size_t budget = options.window_records == 0
                                    ? std::numeric_limits<std::size_t>::max()
                                    : options.window_records;
@@ -1017,6 +1055,7 @@ struct StreamingIngestor::Impl {
     parallel_merge(shards, options.sort_by_time, pool.get(), threads, run);
     runs.add_run(std::move(run));
     ++stats.windows;
+    metrics.ingest_windows->inc();
     return true;
   }
 
@@ -1039,8 +1078,15 @@ struct StreamingIngestor::Impl {
 
     auto frame_file = [&](mrt::ChunkedReader& file_reader, std::uint32_t file,
                           const std::function<bool(FramedChunk&&)>& sink) {
+      const obs::PipelineMetrics& metrics = obs::pipeline_metrics();
       std::uint32_t file_chunk = 0;
-      while (auto chunk = file_reader.next_chunk()) {
+      for (;;) {
+        std::optional<std::vector<mrt::Record>> chunk;
+        {
+          obs::StageTimer frame_timer(metrics.ingest_frame);
+          chunk = file_reader.next_chunk();
+        }
+        if (!chunk) break;
         if (file_chunk >= kMaxChunksPerFile) {
           throw DecodeError(
               "arrival-sequence overflow: one archive frames past 2^24 "

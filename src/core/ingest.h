@@ -169,7 +169,11 @@ struct IngestOptions {
 /// the same input; `threads` and `shards` record the resolved
 /// configuration.
 struct IngestStats {
-  std::size_t files = 1;          ///< archive files / sources ingested
+  /// Archive files / sources ingested. Zero-initialized like every
+  /// other counter: every engine path sets it from its real source
+  /// count (a default-constructed stats block reports no files, not a
+  /// phantom one).
+  std::size_t files = 0;
   std::size_t chunks = 0;         ///< framed batches
   std::size_t raw_records = 0;    ///< MRT records / recorded messages seen
   std::size_t update_messages = 0;///< BGP UPDATEs decoded

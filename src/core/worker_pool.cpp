@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/pipeline_metrics.h"
+
 namespace bgpcc::core {
 
 WorkerPool::WorkerPool(unsigned workers) {
@@ -29,10 +31,15 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::submit(Group& group, std::function<void()> task) {
+  Task entry{&group, std::move(task)};
+  if (obs::enabled()) {
+    entry.enqueued = std::chrono::steady_clock::now();
+    entry.timed = true;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++group.pending_;
-    queue_.push_back(Task{&group, std::move(task)});
+    queue_.push_back(std::move(entry));
   }
   task_cv_.notify_one();
   done_cv_.notify_all();  // waiting threads help with queued tasks
@@ -45,6 +52,7 @@ void WorkerPool::wait(Group& group) {
       Task task = std::move(queue_.front());
       queue_.pop_front();
       lock.unlock();
+      obs::pipeline_metrics().pool_help_hits->inc();
       run_task(task);
       lock.lock();
       continue;
@@ -136,6 +144,13 @@ void WorkerPool::worker_loop() {
 }
 
 void WorkerPool::run_task(Task& task) {
+  const obs::PipelineMetrics& metrics = obs::pipeline_metrics();
+  metrics.pool_tasks->inc();
+  if (task.timed) {
+    const auto waited = std::chrono::steady_clock::now() - task.enqueued;
+    metrics.pool_queue_wait->observe(
+        std::chrono::duration<double>(waited).count());
+  }
   // The short-circuit: tasks of an already-failed group complete
   // without running, so one thrown exception stops the whole stage.
   if (!task.group->failed()) {

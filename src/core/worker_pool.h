@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -106,6 +107,10 @@ class WorkerPool {
   struct Task {
     Group* group = nullptr;
     std::function<void()> fn;
+    // Submit timestamp for the obs queue-wait histogram; only stamped
+    // (and only read) while obs stage timing is enabled.
+    std::chrono::steady_clock::time_point enqueued{};
+    bool timed = false;
   };
 
   void worker_loop();

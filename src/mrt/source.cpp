@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "netbase/error.h"
+#include "obs/pipeline_metrics.h"
 
 #if BGPCC_HAVE_ZLIB
 #include <zlib.h>
@@ -29,19 +30,36 @@ class PrefixedSource final : public Source {
       : prefix_(std::move(prefix)), next_(std::move(next)) {}
 
   std::size_t read(std::uint8_t* out, std::size_t max) override {
+    std::size_t n;
     if (pos_ < prefix_.size()) {
-      std::size_t n = std::min(max, prefix_.size() - pos_);
+      n = std::min(max, prefix_.size() - pos_);
       std::memcpy(out, prefix_.data() + pos_, n);
       pos_ += n;
-      return n;
+    } else {
+      n = next_->read(out, max);
     }
-    return next_->read(out, max);
+    // Everything delivered here is pre-decompression stream bytes
+    // (including the replayed sniff prefix, which came off the wire
+    // once); for uncompressed inputs the same bytes also are the
+    // framer-visible output.
+    if (n != 0 && compressed_bytes_ != nullptr) compressed_bytes_->inc(n);
+    if (n != 0 && raw_bytes_ != nullptr) raw_bytes_->inc(n);
+    return n;
+  }
+
+  /// Routes byte accounting once the codec is known: `compressed` gets
+  /// every delivered byte, `raw` only set for uncompressed inputs.
+  void set_byte_counters(obs::Counter* compressed, obs::Counter* raw) {
+    compressed_bytes_ = compressed;
+    raw_bytes_ = raw;
   }
 
  private:
   std::vector<std::uint8_t> prefix_;
   std::size_t pos_ = 0;
   std::unique_ptr<Source> next_;
+  obs::Counter* compressed_bytes_ = nullptr;
+  obs::Counter* raw_bytes_ = nullptr;
 };
 
 #if BGPCC_HAVE_ZLIB
@@ -53,8 +71,10 @@ class PrefixedSource final : public Source {
 /// mirror download must never pass for a short archive.
 class GzipSource final : public Source {
  public:
-  explicit GzipSource(std::unique_ptr<Source> raw)
-      : raw_(std::move(raw)), in_buf_(kDecompressInputBuffer) {
+  GzipSource(std::unique_ptr<Source> raw, obs::Counter* bytes_out)
+      : raw_(std::move(raw)),
+        in_buf_(kDecompressInputBuffer),
+        bytes_out_(bytes_out) {
     stream_.zalloc = nullptr;
     stream_.zfree = nullptr;
     stream_.opaque = nullptr;
@@ -117,12 +137,15 @@ class GzipSource final : public Source {
       }
       mid_member_ = true;
     }
-    return want - stream_.avail_out;
+    std::size_t produced = want - stream_.avail_out;
+    if (produced != 0 && bytes_out_ != nullptr) bytes_out_->inc(produced);
+    return produced;
   }
 
  private:
   std::unique_ptr<Source> raw_;
   std::vector<std::uint8_t> in_buf_;
+  obs::Counter* bytes_out_ = nullptr;
   z_stream stream_{};
   bool initialized_ = false;
   bool mid_member_ = false;
@@ -138,8 +161,10 @@ class GzipSource final : public Source {
 /// as concatenated streams by pbzip2).
 class Bzip2Source final : public Source {
  public:
-  explicit Bzip2Source(std::unique_ptr<Source> raw)
-      : raw_(std::move(raw)), in_buf_(kDecompressInputBuffer) {
+  Bzip2Source(std::unique_ptr<Source> raw, obs::Counter* bytes_out)
+      : raw_(std::move(raw)),
+        in_buf_(kDecompressInputBuffer),
+        bytes_out_(bytes_out) {
     init_stream();
   }
 
@@ -199,7 +224,9 @@ class Bzip2Source final : public Source {
       }
       mid_stream_ = true;
     }
-    return want - stream_.avail_out;
+    std::size_t produced = want - stream_.avail_out;
+    if (produced != 0 && bytes_out_ != nullptr) bytes_out_->inc(produced);
+    return produced;
   }
 
  private:
@@ -218,6 +245,7 @@ class Bzip2Source final : public Source {
 
   std::unique_ptr<Source> raw_;
   std::vector<std::uint8_t> in_buf_;
+  obs::Counter* bytes_out_ = nullptr;
   bz_stream stream_{};
   bool initialized_ = false;
   bool mid_stream_ = false;
@@ -302,19 +330,34 @@ std::unique_ptr<Source> make_decompressing_source(std::unique_ptr<Source> raw,
   }
   Compression compression = detect_compression(head.data(), head.size());
   if (detected != nullptr) *detected = compression;
+  const obs::PipelineMetrics& metrics = obs::pipeline_metrics();
+  const std::size_t codec =
+      compression == Compression::kGzip    ? obs::PipelineMetrics::kCodecGzip
+      : compression == Compression::kBzip2 ? obs::PipelineMetrics::kCodecBzip2
+                                           : obs::PipelineMetrics::kCodecNone;
+  metrics.source_opened[codec]->inc();
   auto replayed =
       std::make_unique<PrefixedSource>(std::move(head), std::move(raw));
+  // For uncompressed inputs the stream bytes ARE the framer bytes, so
+  // the replay wrapper feeds both counters; compressed codecs count
+  // their decompressed output themselves.
+  replayed->set_byte_counters(
+      metrics.source_compressed_bytes[codec],
+      compression == Compression::kNone ? metrics.source_bytes[codec]
+                                        : nullptr);
   switch (compression) {
     case Compression::kGzip:
 #if BGPCC_HAVE_ZLIB
-      return std::make_unique<GzipSource>(std::move(replayed));
+      return std::make_unique<GzipSource>(std::move(replayed),
+                                          metrics.source_bytes[codec]);
 #else
       throw DecodeError("gzip-compressed input, but bgpcc was built "
                         "without zlib");
 #endif
     case Compression::kBzip2:
 #if BGPCC_HAVE_BZIP2
-      return std::make_unique<Bzip2Source>(std::move(replayed));
+      return std::make_unique<Bzip2Source>(std::move(replayed),
+                                           metrics.source_bytes[codec]);
 #else
       throw DecodeError("bzip2-compressed input, but bgpcc was built "
                         "without libbz2");

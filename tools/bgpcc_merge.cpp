@@ -8,9 +8,16 @@
 // run over the concatenated input. merge_tool_test asserts exactly
 // that, end to end, against this binary's stdout.
 //
-//   bgpcc-merge ingest <out.state> <collector>=<archive> [...]
-//   bgpcc-merge merge [--save <out.state>] <state-file> [...]
+//   bgpcc-merge [--metrics <path|->] ingest <out.state>
+//       <collector>=<archive> [...]
+//   bgpcc-merge [--metrics <path|->] merge [--save <out.state>]
+//       <state-file> [...]
 //   bgpcc-merge tags <state-file>
+//
+// --metrics enables the obs stage-timing layer and dumps the pipeline
+// metric registry after the command finishes: Prometheus text format,
+// or JSON when the path ends in .json; "-" writes Prometheus text to
+// stdout after the reports.
 //
 // Archives may be raw, gzip, or bzip2 MRT (detected by magic bytes).
 // Every shipped pass runs with its default configuration; `merge`
@@ -18,6 +25,7 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -27,6 +35,7 @@
 #include "core/ingest.h"
 #include "core/tables.h"
 #include "netbase/error.h"
+#include "obs/metrics.h"
 
 using namespace bgpcc;
 
@@ -195,10 +204,37 @@ int usage_error() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  bgpcc-merge ingest <out.state> <collector>=<archive> [...]\n"
-      "  bgpcc-merge merge [--save <out.state>] <state-file> [...]\n"
+      "  bgpcc-merge [--metrics <path|->] ingest <out.state> "
+      "<collector>=<archive> [...]\n"
+      "  bgpcc-merge [--metrics <path|->] merge [--save <out.state>] "
+      "<state-file> [...]\n"
       "  bgpcc-merge tags <state-file>\n");
   return 2;
+}
+
+// Dumps the global metric registry to the --metrics target after the
+// command ran: "-" appends Prometheus text to stdout, a .json path
+// gets the JSON rendering, any other path the Prometheus text format.
+void emit_metrics(const std::string& target) {
+  if (target == "-") {
+    std::printf("\n");
+    obs::render_prometheus(std::cout);
+    std::cout.flush();
+    return;
+  }
+  std::ofstream out(target, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bgpcc-merge: cannot write metrics to '%s'\n",
+                 target.c_str());
+    return;
+  }
+  const bool json = target.size() > 5 &&
+                    target.compare(target.size() - 5, 5, ".json") == 0;
+  if (json) {
+    obs::render_json(out);
+  } else {
+    obs::render_prometheus(out);
+  }
 }
 
 int cmd_ingest(const std::vector<std::string>& args) {
@@ -291,16 +327,30 @@ int cmd_tags(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  std::string metrics_target;
+  while (args.size() >= 2 && args[0] == "--metrics") {
+    metrics_target = args[1];
+    args.erase(args.begin(), args.begin() + 2);
+  }
+  if (!metrics_target.empty()) obs::set_enabled(true);
   if (args.empty()) return usage_error();
   std::string command = args[0];
   args.erase(args.begin());
   try {
-    if (command == "ingest") return cmd_ingest(args);
-    if (command == "merge") return cmd_merge(args);
-    if (command == "tags") return cmd_tags(args);
+    int rc;
+    if (command == "ingest") {
+      rc = cmd_ingest(args);
+    } else if (command == "merge") {
+      rc = cmd_merge(args);
+    } else if (command == "tags") {
+      rc = cmd_tags(args);
+    } else {
+      return usage_error();
+    }
+    if (!metrics_target.empty()) emit_metrics(metrics_target);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bgpcc-merge: %s\n", e.what());
     return 1;
   }
-  return usage_error();
 }
