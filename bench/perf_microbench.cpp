@@ -519,15 +519,17 @@ BENCHMARK(BM_AnomalyInline)->Arg(1)->Arg(4)->UseRealTime();
 // Registers the full shipped pass set — the bgpcc-merge/checkpoint
 // configuration — on a driver.
 void add_standard_passes(analytics::AnalysisDriver& driver) {
-  driver.add(analytics::ClassifierPass{});
-  driver.add(analytics::PerSessionTypesPass{});
-  driver.add(analytics::TomographyPass{});
-  driver.add(analytics::CommunityStatsPass{});
-  driver.add(analytics::DuplicateBurstPass{});
-  driver.add(analytics::AnomalyPass{});
-  driver.add(analytics::RevealedPass{});
-  driver.add(analytics::ExplorationPass{});
-  driver.add(analytics::UsageClassificationPass{});
+  // The benchmarks only serialize/report whole drivers, so the typed
+  // handles add() returns have no caller here.
+  static_cast<void>(driver.add(analytics::ClassifierPass{}));
+  static_cast<void>(driver.add(analytics::PerSessionTypesPass{}));
+  static_cast<void>(driver.add(analytics::TomographyPass{}));
+  static_cast<void>(driver.add(analytics::CommunityStatsPass{}));
+  static_cast<void>(driver.add(analytics::DuplicateBurstPass{}));
+  static_cast<void>(driver.add(analytics::AnomalyPass{}));
+  static_cast<void>(driver.add(analytics::RevealedPass{}));
+  static_cast<void>(driver.add(analytics::ExplorationPass{}));
+  static_cast<void>(driver.add(analytics::UsageClassificationPass{}));
 }
 
 // Checkpoint/restore round-trip (analytics/serialize.h): encode a

@@ -128,6 +128,7 @@ void AnalysisDriver::observe_shard(
     // A still-attached IngestOptions reused after report(): the engine's
     // error collector carries this to the ingest caller as the real
     // contract violation, not a cryptic out-of-range.
+    // bgpcc-lint: allow(H1, cold misuse-only path - never hit in steady state)
     throw ConfigError(
         "AnalysisDriver: ingestion observed through attached options "
         "after report() — attach a fresh driver per run");

@@ -125,7 +125,7 @@ class AnalysisDriver {
   /// Registers a pass. Call before any observation (attach/sink/observe*);
   /// throws ConfigError afterwards.
   template <Pass P>
-  PassHandle<P> add(P pass) {
+  [[nodiscard]] PassHandle<P> add(P pass) {
     ensure_can_add();
     passes_.push_back(
         std::make_unique<detail::PassModel<P>>(std::move(pass)));

@@ -75,6 +75,7 @@ CommunityStatsPass::Report CommunityStatsPass::State::report() const {
   report.communities_per_announcement = histogram_;
 
   std::map<std::uint16_t, std::uint64_t> per_namespace;
+  // bgpcc-lint: allow(D1, map increments commute - order cannot reach report)
   for (std::uint32_t raw : values_) {
     ++per_namespace[static_cast<std::uint16_t>(raw >> 16)];
   }

@@ -480,6 +480,7 @@ void write_spill_record(std::ostream& out, const SeqRecord& sr) {
 
 void read_spill_exact(std::istream& in, std::uint8_t* data,
                       std::size_t size) {
+  // bgpcc-lint: allow(S1, this IS the checked primitive; gcount throws below)
   in.read(reinterpret_cast<char*>(data),
           static_cast<std::streamsize>(size));
   if (static_cast<std::size_t>(in.gcount()) != size) {
@@ -502,6 +503,7 @@ IpAddress read_spill_ip(std::istream& in) {
 /// Reads one record; false at clean end of run.
 bool read_spill_record(std::istream& in, SeqRecord& out) {
   std::uint8_t head[16];
+  // bgpcc-lint: allow(S1, EOF at record boundary is the clean stop signal)
   in.read(reinterpret_cast<char*>(head), sizeof(head));
   if (in.gcount() == 0 && in.eof()) return false;
   if (static_cast<std::size_t>(in.gcount()) != sizeof(head)) {

@@ -38,7 +38,8 @@ class Source {
 
   /// Reads up to `max` bytes into `out`; returns the number of bytes
   /// produced, 0 exactly at clean end of stream.
-  virtual std::size_t read(std::uint8_t* out, std::size_t max) = 0;
+  [[nodiscard]] virtual std::size_t read(std::uint8_t* out,
+                                         std::size_t max) = 0;
 };
 
 /// Adapts a caller-owned std::istream (file, stringstream, socketbuf) to
@@ -46,7 +47,8 @@ class Source {
 class IstreamSource final : public Source {
  public:
   explicit IstreamSource(std::istream& in) : in_(&in) {}
-  std::size_t read(std::uint8_t* out, std::size_t max) override;
+  [[nodiscard]] std::size_t read(std::uint8_t* out,
+                                 std::size_t max) override;
 
  private:
   std::istream* in_;

@@ -59,8 +59,8 @@ BeaconInternet::BeaconInternet(BeaconOptions options)
 
   // Beacon prefixes: the RIS 84.205.x.0/24 range.
   for (int i = 0; i < options_.beacon_count; ++i) {
-    beacons_.push_back(Prefix(
-        IpAddress::v4(84, 205, static_cast<std::uint8_t>(64 + i), 0), 24));
+    beacons_.emplace_back(
+        IpAddress::v4(84, 205, static_cast<std::uint8_t>(64 + i), 0), 24);
   }
 
   // Core nodes. Creation order fixes router-id tie-breaks: H1 and M1/M2
@@ -256,6 +256,7 @@ core::UpdateStream BeaconInternet::collector_stream(
 
 std::vector<std::string> BeaconInternet::collector_names() const {
   std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(options_.collector_count));
   for (int c = 0; c < options_.collector_count; ++c) {
     out.push_back("rrc0" + std::to_string(c));
   }

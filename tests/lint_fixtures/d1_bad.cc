@@ -1,0 +1,31 @@
+// bgpcc-lint fixture: D1 must fire — deterministic-output functions
+// iterating unordered containers without a sort barrier.
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+class BadStats {
+ public:
+  void save(std::ostream& out) const {
+    // BAD: hash-table iteration order leaks into the serialized bytes.
+    for (std::uint32_t v : values_) {
+      out << v << '\n';
+    }
+  }
+
+  void render_counts(std::ostream& out) const {
+    // BAD: same rule for the render_* family.
+    for (const auto& [k, n] : counts_) {
+      out << k << ' ' << n << '\n';
+    }
+  }
+
+ private:
+  std::unordered_set<std::uint32_t> values_;
+  std::unordered_map<std::uint32_t, std::uint64_t> counts_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// bgpcc-lint fixture: the clean twin of d1_bad.cc — the sort-barrier
+// idiom serialize.cpp uses. D1 must stay silent.
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+class CleanStats {
+ public:
+  void save(std::ostream& out) const {
+    // Copy into a vector and sort; the emitted loop runs over the
+    // sorted copy, so the bytes are independent of hash order.
+    std::vector<std::uint32_t> sorted(values_.begin(), values_.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t v : sorted) {
+      out << v << '\n';
+    }
+  }
+
+  // Iterating the unordered container OUTSIDE an emit path is fine.
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::uint32_t v : values_) sum += v;
+    return sum;
+  }
+
+ private:
+  std::unordered_set<std::uint32_t> values_;
+};
+
+}  // namespace fixture

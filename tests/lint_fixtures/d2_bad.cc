@@ -1,0 +1,25 @@
+// bgpcc-lint fixture: D2 must fire — nondeterministic inputs feeding
+// deterministic-output functions.
+#include <chrono>
+#include <cstdlib>
+#include <ostream>
+
+namespace fixture {
+
+class BadReport {
+ public:
+  void report(std::ostream& out) const {
+    // BAD: wall-clock read inside a report path.
+    auto now = std::chrono::system_clock::now();
+    out << now.time_since_epoch().count() << '\n';
+    // BAD: randomness inside a report path.
+    out << rand() << '\n';
+  }
+
+  void write_debug(std::ostream& out) const {
+    // BAD: pointer values differ across runs (ASLR).
+    out << static_cast<const void*>(this) << '\n';
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// bgpcc-lint fixture: the clean twin of d2_bad.cc. Clock reads are
+// fine outside emit paths (timing), and emit paths that only touch
+// state stay silent.
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+
+namespace fixture {
+
+class CleanReport {
+ public:
+  void report(std::ostream& out) const {
+    // Output depends only on accumulated state.
+    out << observed_ << '\n';
+  }
+
+  // A clock read in a non-emit function (e.g. a timer) is fine.
+  void tick() {
+    last_ = std::chrono::steady_clock::now();
+  }
+
+ private:
+  std::uint64_t observed_ = 0;
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// bgpcc-lint fixture: H1 must fire — locks/allocation in the lock-free
+// hot paths (obs counter inc, shard observer).
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    // BAD: mutex acquisition in the counter hot path.
+    std::lock_guard<std::mutex> hold(mu_);
+    // BAD: container growth (allocation) per increment.
+    samples_.push_back(n);
+    value_ += n;
+  }
+
+ private:
+  std::mutex mu_;
+  std::uint64_t value_ = 0;
+  std::vector<std::uint64_t> samples_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// bgpcc-lint fixture: the clean twin of h1_bad.cc — the striped
+// relaxed-atomic shape src/obs/metrics.cpp actually uses. H1 must
+// stay silent (atomics are not locks, clock reads are allowed).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    stripes_[0].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : stripes_) {
+      sum += s.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Stripe stripes_[16];
+};
+
+class StageTimer {
+ public:
+  void stop() noexcept {
+    // Reading the steady clock is allowed; only locks/allocs are not.
+    end_ = std::chrono::steady_clock::now();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point end_;
+};
+
+}  // namespace fixture

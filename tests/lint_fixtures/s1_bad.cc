@@ -1,0 +1,38 @@
+// bgpcc-lint fixture: S1 must fire — decode paths that bypass the
+// Reader primitives or trust a wire count before validating it.
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  std::uint32_t u32();
+  std::uint64_t u64();
+};
+
+class BadState {
+ public:
+  void load(Reader& r) {
+    // BAD: pre-sizing from an unvalidated wire-read count — corrupt
+    // input can drive a multi-gigabyte allocation before any
+    // DecodeError fires.
+    std::uint32_t count = r.u32();
+    values_.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      values_.push_back(r.u32());
+    }
+  }
+
+ private:
+  std::vector<std::uint32_t> values_;
+};
+
+// BAD: raw stream read inside a decode function — truncation yields
+// garbage instead of a DecodeError.
+void read_header(std::istream& in, char* buf) {
+  in.read(buf, 16);
+}
+
+}  // namespace fixture

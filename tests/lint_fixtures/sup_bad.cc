@@ -1,0 +1,23 @@
+// bgpcc-lint fixture: SUP must fire — a suppression without a reason
+// string is itself a finding (and does NOT silence the check it
+// names), so lazy blanket suppressions cannot creep in.
+#include <cstdint>
+#include <ostream>
+#include <unordered_set>
+
+namespace fixture {
+
+class LazyStats {
+ public:
+  void save(std::ostream& out) const {
+    // bgpcc-lint: allow(D1)
+    for (std::uint32_t v : values_) {
+      out << v << '\n';
+    }
+  }
+
+ private:
+  std::unordered_set<std::uint32_t> values_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,33 @@
+// bgpcc-lint fixture: well-formed suppressions silence their checks.
+// The tool must report NOTHING for this file.
+#include <cstdint>
+#include <ostream>
+#include <unordered_set>
+
+namespace fixture {
+
+class SuppressedStats {
+ public:
+  std::uint64_t save(std::ostream& out) const {
+    std::uint64_t parity = 0;
+    // bgpcc-lint: allow(D1, XOR is commutative so order cannot reach output)
+    for (std::uint32_t v : values_) {
+      parity ^= v;
+    }
+    out << parity << '\n';
+    return parity;
+  }
+
+  void report(std::ostream& out) const {
+    for (std::uint32_t v : values_) {  // bgpcc-lint: allow(D1, sum commutes)
+      total_ += v;
+    }
+    out << total_ << '\n';
+  }
+
+ private:
+  std::unordered_set<std::uint32_t> values_;
+  mutable std::uint64_t total_ = 0;
+};
+
+}  // namespace fixture
